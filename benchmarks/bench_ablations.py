@@ -1,0 +1,191 @@
+"""Ablations of the paper's design choices.
+
+The paper motivates four mechanisms without dedicated tables; these
+benches quantify each on our substrate:
+
+* **Criterion 1 threshold sweep** — the 10K bar "was determined
+  empirically by starting at a larger number and slowly reducing it as
+  long as the ratio of true positives remained high" (§V-A).
+* **Criterion 2 on/off** — the trivially-non-blocking filter removes the
+  timer-loop false-positive class entirely.
+* **RMS vs mean ranking** — "RMS was selected for its capability to
+  effectively highlight suspicious operations within individual
+  instances" (§V-A): a hot single instance must outrank diffuse noise.
+* **GoLeak retry budget** — without the retry grace period, slow-but-
+  healthy goroutines are misreported.
+"""
+
+import functools
+
+import pytest
+
+from repro.analysis.stats import rms
+from repro.goleak import find, max_retries
+from repro.leakprof import LeakProf, scan_profile
+from repro.patterns import congestion, premature_return, timer_loop
+from repro.profiling import GoroutineProfile
+from repro.runtime import Runtime, go, sleep
+
+from conftest import print_table
+
+
+def _profile(builder, service, seed=0):
+    rt = Runtime(seed=seed, name=service)
+    builder(rt)
+    return GoroutineProfile.take(rt, service=service, instance="i-0")
+
+
+def _leaky(n):
+    def build(rt):
+        for _ in range(n):
+            rt.run(premature_return.leaky, rt, detect_global_deadlock=False)
+
+    return build
+
+
+def _congested(producers):
+    def build(rt):
+        rt.run(
+            functools.partial(congestion.burst_backlog, producers=producers),
+            rt,
+            deadline=rt.now,
+            detect_global_deadlock=False,
+        )
+
+    return build
+
+
+def test_ablation_threshold_sweep(benchmark):
+    """Lower thresholds add congestion noise; higher ones miss real leaks."""
+    profiles = (
+        [_profile(_leaky(300), f"leak-{i}", seed=i) for i in range(6)]
+        + [_profile(_congested(120), f"cong-{i}", seed=50 + i)
+           for i in range(6)]
+    )
+
+    def sweep():
+        rows = []
+        for threshold in (50, 100, 200, 400, 1000):
+            reports = []
+            for profile in profiles:
+                reports.extend(scan_profile(profile, threshold=threshold))
+            true = sum(1 for s in reports if s.service.startswith("leak"))
+            precision = true / len(reports) if reports else 1.0
+            recall = true / 6
+            rows.append((threshold, len(reports), true, precision, recall))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "Criterion 1 ablation: threshold sweep",
+        ["threshold", "reports", "true", "precision", "recall"],
+        [(t, n, tp, f"{p:.0%}", f"{r:.0%}") for t, n, tp, p, r in rows],
+    )
+    by_threshold = {row[0]: row for row in rows}
+    # low threshold: perfect recall, noisy; high threshold: misses leaks
+    assert by_threshold[50][4] == 1.0 and by_threshold[50][3] < 1.0
+    assert by_threshold[200][3] == 1.0 and by_threshold[200][4] == 1.0
+    assert by_threshold[1000][4] < 1.0
+
+
+def test_ablation_transient_filter(benchmark):
+    """Criterion 2 removes the timer-loop FP class without losing leaks."""
+    timer_heavy = _profile(
+        lambda rt: [
+            rt.run(
+                functools.partial(timer_loop.leaky, period=600.0),
+                rt,
+                deadline=rt.now,
+                detect_global_deadlock=False,
+            )
+            for _ in range(200)
+        ],
+        "timers",
+    )
+    real_leak = _profile(_leaky(200), "leaks")
+
+    def run():
+        with_filter = scan_profile(timer_heavy, threshold=100) + scan_profile(
+            real_leak, threshold=100
+        )
+        without = scan_profile(
+            timer_heavy, threshold=100, apply_transient_filter=False
+        ) + scan_profile(
+            real_leak, threshold=100, apply_transient_filter=False
+        )
+        return with_filter, without
+
+    with_filter, without = benchmark(run)
+    print_table(
+        "Criterion 2 ablation",
+        ["config", "reports", "services"],
+        [
+            ("filter ON", len(with_filter),
+             sorted({s.service for s in with_filter})),
+            ("filter OFF", len(without),
+             sorted({s.service for s in without})),
+        ],
+    )
+    assert {s.service for s in with_filter} == {"leaks"}
+    assert {s.service for s in without} == {"leaks", "timers"}
+
+
+def test_ablation_rms_vs_mean_ranking(benchmark):
+    """One 10K-blocked instance must outrank 40 instances of 300 each."""
+    hot = [10_000] + [0] * 39  # concentrated leak
+    diffuse = [300] * 40  # fleet-wide mild congestion
+
+    def rank():
+        return {
+            "rms": (rms(hot), rms(diffuse)),
+            "mean": (sum(hot) / len(hot), sum(diffuse) / len(diffuse)),
+        }
+
+    scores = benchmark(rank)
+    print_table(
+        "Impact-ranking ablation (hot instance vs diffuse noise)",
+        ["metric", "hot score", "diffuse score", "ranks hot first?"],
+        [
+            (
+                name,
+                f"{hot_score:.0f}",
+                f"{diffuse_score:.0f}",
+                hot_score > diffuse_score,
+            )
+            for name, (hot_score, diffuse_score) in scores.items()
+        ],
+    )
+    rms_hot, rms_diffuse = scores["rms"]
+    mean_hot, mean_diffuse = scores["mean"]
+    assert rms_hot > rms_diffuse  # RMS surfaces the paper's Fig 6 case
+    assert mean_hot < mean_diffuse  # mean ranking would bury it
+
+
+def test_ablation_goleak_retry_budget(benchmark):
+    """No retries -> slow-but-healthy goroutines are misreported."""
+
+    def build():
+        rt = Runtime(seed=1)
+
+        def main(rt):
+            def slow():
+                yield sleep(1.0)
+
+            yield go(slow)
+
+        rt.run(main, rt, deadline=0.0)
+        return rt
+
+    def run():
+        no_retry = find(build(), max_retries(retries=0))
+        with_retry = find(build(), max_retries(retries=20, interval=0.1))
+        return len(no_retry), len(with_retry)
+
+    false_alarms, clean = benchmark(run)
+    print_table(
+        "GoLeak retry ablation",
+        ["config", "reported leaks"],
+        [("retries=0", false_alarms), ("retries=20 (default-ish)", clean)],
+    )
+    assert false_alarms == 1  # misreport without the grace period
+    assert clean == 0

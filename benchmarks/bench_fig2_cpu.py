@@ -1,0 +1,100 @@
+"""Fig 2: CPU utilization of a leaky service before and after the fix.
+
+Paper: fixing the leak reduced max CPU utilization by 34% (26.8% → 17.7%)
+and average utilization by 16.5% (12.29% → 10.36%), on top of the usual
+diurnal crests and troughs.  The burn comes from leaked timer-loop
+goroutines (§VI-A2) waking periodically; our CPU model is driven by the
+actual leaked-goroutine count of the simulated service.
+"""
+
+import pytest
+
+from repro.fleet import (
+    CpuModel,
+    Fleet,
+    RequestMix,
+    Service,
+    ServiceConfig,
+    TrafficShape,
+)
+from repro.patterns import premature_return
+
+from conftest import print_series
+
+#: Paper values.
+PAPER_MAX_BEFORE, PAPER_MAX_AFTER = 26.8, 17.7
+PAPER_AVG_BEFORE, PAPER_AVG_AFTER = 12.29, 10.36
+
+
+def run_fig2(days_healthy=2.0, days_leaky=1.5, days_after=3.0, seed=11):
+    """Replay the paper's narrative: a leak *lands* mid-window.
+
+    The before-fix observation window (Fig 2, days 0-4) spans the healthy
+    prefix and the period after the buggy deploy — which is why the paper
+    sees max utilization cut by 34% but *average* by only 16.5%: the burn
+    only ramps once the leak is live.
+    """
+    leaky = RequestMix().add(
+        "report", premature_return.leaky, weight=1.0, payload_bytes=1024
+    )
+    fixed = RequestMix().add(
+        "report", premature_return.fixed, weight=1.0, payload_bytes=1024
+    )
+    cpu = CpuModel(
+        base_percent=7.0,
+        diurnal_amplitude=10.5,
+        cpu_per_wakeup=0.075,
+        wakeup_period=60.0,
+        cores=4,
+    )
+    config = ServiceConfig(
+        name="cpu-service",
+        mix=fixed,  # healthy code initially
+        instances=2,
+        traffic=TrafficShape(requests_per_window=25),
+        cpu_model=cpu,
+    )
+    service = Service(config, seed=seed)
+    fleet = Fleet().add(service)
+    fleet.run_days(days_healthy, window=3 * 3600.0)
+    service.deploy(leaky)  # the buggy release lands
+    fleet.run_days(days_leaky, window=3 * 3600.0)
+    before = [(s.t, s.mean_cpu_percent, s.max_cpu_percent)
+              for s in service.history]
+    service.deploy(fixed)  # the LeakProf-driven fix
+    marker = len(service.history)
+    fleet.run_days(days_after, window=3 * 3600.0)
+    after = [(s.t, s.mean_cpu_percent, s.max_cpu_percent)
+             for s in service.history[marker:]]
+    return before, after
+
+
+def test_fig2_cpu_reduction(benchmark):
+    before, after = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    max_before = max(point[2] for point in before)
+    max_after = max(point[2] for point in after)
+    avg_before = sum(point[1] for point in before) / len(before)
+    avg_after = sum(point[1] for point in after) / len(after)
+    print_series(
+        "Fig 2: CPU utilization (day, mean%)",
+        [
+            (f"{t / 86_400.0:.2f}", f"{mean:.1f}%")
+            for t, mean, _max in (before + after)[::2]
+        ],
+    )
+    max_cut = (max_before - max_after) / max_before
+    avg_cut = (avg_before - avg_after) / avg_before
+    print(
+        f"\nmax CPU:  {max_before:.1f}% -> {max_after:.1f}% "
+        f"(-{100 * max_cut:.0f}%; paper {PAPER_MAX_BEFORE}% -> "
+        f"{PAPER_MAX_AFTER}%, -34%)\n"
+        f"avg CPU:  {avg_before:.1f}% -> {avg_after:.1f}% "
+        f"(-{100 * avg_cut:.0f}%; paper {PAPER_AVG_BEFORE}% -> "
+        f"{PAPER_AVG_AFTER}%, -16.5%)"
+    )
+    # Shape: the fix cuts max utilization by roughly a third, average by
+    # roughly a sixth, and the diurnal swing persists after the fix.
+    assert max_cut == pytest.approx(0.34, abs=0.12)
+    assert avg_cut == pytest.approx(0.165, abs=0.10)
+    after_means = [point[1] for point in after]
+    assert max(after_means) - min(after_means) > 3.0  # diurnal crests remain

@@ -1,0 +1,131 @@
+"""Table III: performance overview of the analysis tools.
+
+Paper (precision of manually inspected reports):
+
+    GCatch   938 reports, 51% precision, not CI-deployable
+    GOAT     450 reports, 47% precision, not CI-deployable
+    Gomela   389 reports, 34% precision, not CI-deployable
+    GoLeak   857 reports, 100% precision, deployable
+    LeakProf  33 reports, 72.7% precision (24 acknowledged, 21 fixed)
+
+The static rows come from the analyzer analogs over the labeled ChanLang
+corpus; the GoLeak row from dynamic execution of the same corpus; the
+LeakProf row from a fleet where 24 services genuinely leak and 9 only
+suffer transient congestion.
+"""
+
+import functools
+
+import pytest
+
+from repro.goleak import find
+from repro.leakprof import LeakProf
+from repro.patterns import congestion, premature_return, timeout_leak
+from repro.profiling import GoroutineProfile
+from repro.runtime import Runtime
+from repro.staticanalysis import (
+    build_corpus,
+    evaluate_goleak,
+    evaluate_static_tools,
+)
+
+from conftest import print_table
+
+PAPER = {
+    "gcatch": 0.51,
+    "goat": 0.47,
+    "gomela": 0.34,
+    "goleak": 1.00,
+    "leakprof": 0.727,
+}
+
+
+def leaky_service_profile(index):
+    """A service instance with a genuine accumulation of leaks."""
+    rt = Runtime(seed=index, name=f"leaky-{index}")
+    pattern = premature_return.leaky if index % 2 else timeout_leak.leaky
+    for _ in range(120):
+        rt.run(pattern, rt, deadline=rt.now + 1.0, detect_global_deadlock=False)
+    return GoroutineProfile.take(
+        rt, service=f"leaky-svc-{index}", instance="i-0"
+    )
+
+
+def congested_service_profile(index):
+    """A service instance with a transient backlog (NOT a leak)."""
+    rt = Runtime(seed=1000 + index, name=f"congested-{index}")
+    rt.run(
+        functools.partial(congestion.burst_backlog, producers=150),
+        rt,
+        deadline=rt.now,
+        detect_global_deadlock=False,
+    )
+    return GoroutineProfile.take(
+        rt, service=f"congested-svc-{index}", instance="i-0"
+    )
+
+
+def evaluate_leakprof(n_leaky=24, n_congested=9, threshold=100):
+    profiles = [leaky_service_profile(i) for i in range(n_leaky)]
+    profiles += [congested_service_profile(i) for i in range(n_congested)]
+    leakprof = LeakProf(threshold=threshold, top_n=100)
+    result = leakprof.analyze_profiles(profiles)
+    reports = result.new_reports
+    true_positives = sum(
+        1 for r in reports if r.candidate.service.startswith("leaky")
+    )
+    return len(reports), true_positives
+
+
+def test_table3_tool_precision(benchmark):
+    def run():
+        corpus = build_corpus()
+        static = evaluate_static_tools(corpus)
+        goleak_eval = evaluate_goleak(corpus, runs=6)
+        leakprof_reports, leakprof_tp = evaluate_leakprof()
+        return static, goleak_eval, leakprof_reports, leakprof_tp
+
+    static, goleak_eval, lp_reports, lp_tp = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = []
+    measured = {}
+    for tool, evaluation in static.items():
+        measured[tool] = evaluation.precision
+        rows.append(
+            (
+                tool,
+                evaluation.total_reports,
+                f"{evaluation.precision:.1%}",
+                f"{PAPER[tool]:.0%}",
+                "No",
+            )
+        )
+    measured["goleak"] = goleak_eval.precision
+    rows.append(
+        (
+            "goleak",
+            goleak_eval.total_reports,
+            f"{goleak_eval.precision:.1%}",
+            "100%",
+            "Yes",
+        )
+    )
+    lp_precision = lp_tp / lp_reports
+    measured["leakprof"] = lp_precision
+    rows.append(
+        ("leakprof", lp_reports, f"{lp_precision:.1%}", "72.7%", "No+")
+    )
+    print_table(
+        "Table III: analysis tools (ours vs paper precision)",
+        ["tool", "reports", "precision", "paper", "CI-deployable"],
+        rows,
+    )
+    # Shape: dynamic tools dominate; static ordering gcatch > goat > gomela.
+    assert measured["goleak"] == 1.0
+    assert measured["gcatch"] > measured["goat"] > measured["gomela"]
+    for tool, paper_value in PAPER.items():
+        assert measured[tool] == pytest.approx(paper_value, abs=0.07), tool
+    # LeakProf's funnel: 33 reported, 24 real (acknowledged) in the paper.
+    assert lp_reports == 33
+    assert lp_tp == 24

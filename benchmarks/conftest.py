@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+rows it reports, alongside the paper's published values, then asserts the
+*shape* (who wins, by roughly what factor) — not the absolute numbers,
+since our substrate is a simulator, not Uber's fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]):
+    """Render one paper table to stdout (shown with pytest -s or on failure)."""
+    print(f"\n=== {title} ===")
+    widths = [len(h) for h in headers]
+    materialized = [[str(cell) for cell in row] for row in rows]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("-" * len(line))
+    for row in materialized:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def print_series(title: str, points: Iterable[tuple], unit: str = ""):
+    """Render one figure's data series."""
+    print(f"\n=== {title} ===")
+    for x, y in points:
+        print(f"  {x:>10}  {y}{unit}")

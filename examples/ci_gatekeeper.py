@@ -1,0 +1,64 @@
+"""CI gatekeeper: goleak as a PR gate with a suppression list (paper §IV).
+
+Run:  python examples/ci_gatekeeper.py
+
+Reproduces the deployment story:
+
+1. an offline trial run over the existing test targets seeds the
+   suppression list with every pre-existing leak (the paper's 1040/857),
+2. PRs that only touch suppressed legacy leaks merge freely,
+3. PRs introducing *new* leaks are blocked with a stack report,
+4. a critical PR is waved through by growing the suppression list.
+"""
+
+from repro.goleak import TestTarget, auto_instrument, trial_run
+from repro.patterns import healthy, premature_return, unclosed_range
+from repro.devflow import CIPipeline, PRGenerator
+
+
+def main():
+    # -- 1. the legacy monorepo: some packages already leak ---------------
+    legacy_targets = auto_instrument(
+        [
+            TestTarget("pkg/payments").add("TestCost", premature_return.leaky),
+            TestTarget("pkg/ingest").add("TestPipeline", unclosed_range.leaky),
+            TestTarget("pkg/api").add("TestPing", healthy.request_response),
+        ]
+    )
+    report = trial_run(legacy_targets)
+    print("== offline trial run (suppression bootstrap) ==")
+    print(f"   suppression entries: {report.total_suppressed}")
+    print(f"   partial deadlocks:   {len(report.partial_deadlocks)}")
+    for name in report.partial_deadlocks:
+        print(f"     - {name}")
+    print()
+
+    # -- 2. legacy-leak PRs pass with the seeded suppression list ---------
+    print("== PR touching only legacy leaks ==")
+    result = legacy_targets[0].run(suppressions=report.suppression_list)
+    print(f"   failed: {result.failed} "
+          f"(suppressed {len(result.suppressed)} known leaks)\n")
+
+    # -- 3. a PR with a NEW leak is blocked --------------------------------
+    print("== PR introducing a new leak ==")
+    generator = PRGenerator(seed=42, prs_per_week=0)
+    pipeline = CIPipeline(report.suppression_list)
+    pipeline.enable_goleak()
+    leaky_pr = generator._make_pr(week=1, leaky=True,
+                                  pattern="contract_violation")
+    merged = pipeline.submit(leaky_pr, seed=1)
+    print(f"   merged: {merged} (goleak blocked the PR)\n")
+
+    # -- 4. the escape hatch: critical PR, suppress now, fix later --------
+    print("== critical PR: suppressed through ==")
+    before = len(report.suppression_list)
+    critical_pr = generator._make_pr(week=1, leaky=True, critical=True,
+                                     pattern="timeout_leak")
+    merged = pipeline.submit(critical_pr, seed=2)
+    after = len(report.suppression_list)
+    print(f"   merged: {merged}; suppression list {before} -> {after}")
+    print("   (the paper saw ~1 such escape per week right after rollout)")
+
+
+if __name__ == "__main__":
+    main()

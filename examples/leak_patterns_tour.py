@@ -1,0 +1,55 @@
+"""A tour of every leak pattern in the paper (Listings 1-9, §VI-§VII).
+
+Run:  python examples/leak_patterns_tour.py
+
+For each registry pattern: run the leaky variant, show what leaked (state,
+stack signature, pinned memory), then run the fix and verify it's clean.
+"""
+
+from repro.goleak import classify, find
+from repro.patterns import PATTERNS
+from repro.runtime import Runtime
+
+
+def main():
+    print(f"{'pattern':28s} {'listing':26s} {'blocks on':24s} leaks  fix")
+    print("-" * 100)
+    for name, pattern in PATTERNS.items():
+        rt = Runtime(seed=3, name=name)
+        rt.run(pattern.leaky, rt, deadline=5.0, detect_global_deadlock=False)
+        leaks = find(rt)
+        kinds = {classify(record).value for record in leaks}
+        pinned = rt.rss() - rt.base_rss
+
+        fixed_status = "n/a"
+        if pattern.fixed is not None:
+            rt2 = Runtime(seed=3)
+            stop = rt2.run(
+                pattern.fixed, rt2, deadline=5.0, detect_global_deadlock=False
+            )
+            if name == "timer_loop":
+                stop()  # the fixed variant hands back a stop() control
+                rt2.advance(1.0)
+            fixed_status = "clean" if not find(rt2) else "STILL LEAKS"
+
+        print(
+            f"{name:28s} {pattern.listing:26s} {'/'.join(sorted(kinds)):24s} "
+            f"{len(leaks):3d}    {fixed_status}"
+        )
+
+    print("\n== anatomy of one leak (timeout_leak, §VII-A2) ==")
+    pattern = PATTERNS["timeout_leak"]
+    rt = Runtime(seed=3)
+    rt.run(pattern.leaky, rt, deadline=5.0, detect_global_deadlock=False)
+    (leak,) = find(rt)
+    print(f"   cause: {pattern.description}")
+    print(f"   classified as: {classify(leak).value}")
+    print("   stack (leaf first):")
+    for frame in leak.frames:
+        print(f"     {frame}")
+    print(f"   created by: {leak.creation_ctx}")
+    print(f"   memory pinned: {rt.rss() - rt.base_rss} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Static vs dynamic detection: why the paper pivoted (paper §II-B/§III).
+
+Run:  python examples/static_vs_dynamic.py
+
+Runs the GCatch/GOAT/Gomela analogs and the dynamic oracle (goleak's
+vantage point) over the labeled ChanLang corpus and prints the Table III
+precision comparison, then dissects *why* each static tool fails on a
+few emblematic programs.
+"""
+
+from repro.staticanalysis import (
+    HEALTHY_TEMPLATES,
+    LEAKY_TEMPLATES,
+    build_corpus,
+    evaluate_goleak,
+    evaluate_static_tools,
+    gcatch,
+    gomela,
+    lint_program,
+    oracle,
+)
+
+
+def main():
+    print("== Table III: precision over the labeled corpus ==")
+    corpus = build_corpus()
+    evaluations = evaluate_static_tools(corpus)
+    evaluations["goleak"] = evaluate_goleak(corpus, runs=6)
+    paper = {"gcatch": "51%", "goat": "47%", "gomela": "34%", "goleak": "100%"}
+    for tool, evaluation in evaluations.items():
+        print(
+            f"   {tool:8s} {evaluation.total_reports:4d} reports, "
+            f"precision {evaluation.precision:6.1%} (paper {paper[tool]}), "
+            f"recall {evaluation.recall:.1%}"
+        )
+
+    print("\n== why GCatch false-positives: correlated branches ==")
+    correlated = HEALTHY_TEMPLATES["correlated_branches"]()
+    print(f"   oracle says leaky: {oracle(correlated.program).leaky}")
+    for report in gcatch.analyze(correlated.program):
+        print(f"   gcatch reports {report.loc}: {report.reason}")
+
+    print("\n== why GCatch false-negatives: deep wrapper chains ==")
+    wrapped = LEAKY_TEMPLATES["wrapped_leak"](depth=6)
+    print(f"   oracle says leaky at: {sorted(oracle(wrapped.program).leaky_locations)}")
+    reported = {r.loc for r in gcatch.analyze(wrapped.program)}
+    print(f"   gcatch reports:       {sorted(reported)} (the send is lost)")
+
+    print("\n== why Gomela is noisiest: per-function models ==")
+    lifecycle = HEALTHY_TEMPLATES["lib_worker_lifecycle"]()
+    print(f"   oracle says leaky: {oracle(lifecycle.program).leaky}")
+    for report in gomela.analyze(lifecycle.program):
+        print(f"   gomela reports {report.loc}: {report.reason}")
+    print("   (the Stop lives in the caller, invisible to the model)")
+
+    print("\n== the §VIII range linter: precise by construction ==")
+    unclosed = LEAKY_TEMPLATES["unclosed_range"]()
+    for finding in lint_program(unclosed.program):
+        print(
+            f"   {finding.program}: channel {finding.channel!r} ranged at "
+            f"{finding.range_loc} but never closed"
+        )
+    closed = HEALTHY_TEMPLATES["healthy_pipeline"]()
+    print(f"   healthy pipeline findings: {lint_program(closed.program)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: lets `pip install -e .` work on environments whose
+setuptools lacks the `wheel` package (PEP 660 fallback path)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of "Unveiling and Vanquishing Goroutine Leaks in
+Enterprise Microservices: A Dynamic Analysis Approach" (CGO 2024).
+
+Subpackages:
+
+* :mod:`repro.runtime` — deterministic Go-like CSP runtime (the substrate).
+* :mod:`repro.profiling` — pprof-style goroutine profiles.
+* :mod:`repro.goleak` — test-time leak detector (the paper's GoLeak).
+* :mod:`repro.leakprof` — production leak detector (the paper's LeakProf).
+* :mod:`repro.patterns` — the paper's leaky/fixed channel patterns.
+* :mod:`repro.staticanalysis` — GCatch/GOAT/Gomela-style baselines + linter.
+* :mod:`repro.fleet` — microservice fleet simulator (RSS/CPU models).
+* :mod:`repro.corpus` — synthetic monorepo feature statistics.
+* :mod:`repro.devflow` — CI pipeline simulation (PR gating).
+* :mod:`repro.analysis` — small statistics helpers (RMS, percentiles).
+
+See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Statistics helpers (RMS, percentiles, diurnal curves)."""
+
+from .stats import (
+    diurnal,
+    mode,
+    percentile,
+    precision,
+    ratio,
+    recall,
+    rms,
+    summarize,
+)
+
+__all__ = [
+    "diurnal",
+    "mode",
+    "percentile",
+    "precision",
+    "ratio",
+    "recall",
+    "rms",
+    "summarize",
+]

@@ -1,0 +1,79 @@
+"""Small statistics helpers used across the reproduction."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def rms(values: Sequence[float]) -> float:
+    """Root mean square — LeakProf's impact metric (§V-A).
+
+    Emphasizes instances with large clusters of blocked goroutines:
+    rms([0]*99 + [10000]) = 1000, while mean is 100.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.sqrt(sum(v * v for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (P50/P90 of Table II)."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile {pct} out of range")
+    ordered = sorted(values)
+    if pct == 0:
+        return ordered[0]
+    rank = math.ceil(pct / 100 * len(ordered))
+    return ordered[rank - 1]
+
+
+def mode(values: Iterable) -> object:
+    """Statistical mode (most common value); ties break to the smallest."""
+    counts = Counter(values)
+    if not counts:
+        raise ValueError("mode of empty sequence")
+    best_count = max(counts.values())
+    return min(v for v, c in counts.items() if c == best_count)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio: 0 when the denominator is 0."""
+    return numerator / denominator if denominator else 0.0
+
+
+def precision(true_positives: int, reported: int) -> float:
+    """TP / (TP + FP) as the paper's Table III defines it."""
+    return ratio(true_positives, reported)
+
+
+def recall(true_positives: int, actual_positives: int) -> float:
+    return ratio(true_positives, actual_positives)
+
+
+def diurnal(t_seconds: float, base: float, amplitude: float,
+            period: float = 86_400.0, phase: float = 0.0) -> float:
+    """A diurnal load curve (the crests/troughs of Fig 2).
+
+    Returns ``base + amplitude * (1 + sin) / 2`` so the value oscillates
+    in ``[base, base + amplitude]`` with a 24h period by default.
+    """
+    angle = 2 * math.pi * (t_seconds / period) + phase
+    return base + amplitude * (1 + math.sin(angle)) / 2
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/min/max/p50/p90 bundle for benchmark tables."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p90": 0.0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+    }

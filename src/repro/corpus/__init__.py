@@ -1,0 +1,16 @@
+"""Synthetic monorepo statistics (paper Tables I and II)."""
+
+from . import model
+from .generator import PackageSpec, generate_monorepo, generate_package
+from .scanner import Table1Row, Table2Summary, scan_table1, scan_table2
+
+__all__ = [
+    "PackageSpec",
+    "Table1Row",
+    "Table2Summary",
+    "generate_monorepo",
+    "generate_package",
+    "model",
+    "scan_table1",
+    "scan_table2",
+]

@@ -1,0 +1,178 @@
+"""Synthetic monorepo generator: packages with sampled concurrency features."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from . import model
+
+
+@dataclass
+class PackageSpec:
+    """One synthetic Go package and its measured features.
+
+    ``features`` maps Table II feature names to (source, tests) counts;
+    ``select_cases`` holds the per-select case counts used for the
+    percentile rows.
+    """
+
+    name: str
+    group: str  # "mp" | "sm" | "both" | "neither"
+    source_files: int = 0
+    source_eloc: int = 0
+    test_files: int = 0
+    test_eloc: int = 0
+    features: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    select_cases_source: List[int] = field(default_factory=list)
+    select_cases_tests: List[int] = field(default_factory=list)
+
+    @property
+    def uses_message_passing(self) -> bool:
+        return self.group in ("mp", "both")
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        return self.group in ("sm", "both")
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (means here are small)."""
+    if mean <= 0:
+        return 0
+    if mean > 50:
+        # normal approximation for the few large means (named functions)
+        return max(0, int(round(rng.gauss(mean, mean ** 0.5))))
+    import math
+
+    limit = math.exp(-mean)
+    product = rng.random()
+    count = 0
+    while product > limit:
+        product *= rng.random()
+        count += 1
+    return count
+
+
+def _sample_cases(rng: random.Random, pmf) -> int:
+    point = rng.random()
+    cumulative = 0.0
+    for value, probability in pmf:
+        cumulative += probability
+        if point <= cumulative:
+            return value
+    return pmf[-1][0]
+
+
+def _group_means(group: str) -> Tuple[float, float, float, float]:
+    """Per-package (src files, src eloc, test files, test eloc) means.
+
+    Table I's MP and SM rows *include* the MP∩SM row, so the disjoint
+    group means are differences of the published totals.
+    """
+    mp, sm, both, everything = (
+        model.TABLE1_FILES["mp"],
+        model.TABLE1_FILES["sm"],
+        model.TABLE1_FILES["both"],
+        model.TABLE1_FILES["all"],
+    )
+    if group == "mp":
+        count = model.MP_PACKAGES - model.BOTH_PACKAGES
+        fields = [
+            getattr(mp, name) - getattr(both, name)
+            for name in ("source_files", "source_eloc", "test_files", "test_eloc")
+        ]
+    elif group == "sm":
+        count = model.SM_PACKAGES - model.BOTH_PACKAGES
+        fields = [
+            getattr(sm, name) - getattr(both, name)
+            for name in ("source_files", "source_eloc", "test_files", "test_eloc")
+        ]
+    elif group == "both":
+        count = model.BOTH_PACKAGES
+        fields = [
+            getattr(both, name)
+            for name in ("source_files", "source_eloc", "test_files", "test_eloc")
+        ]
+    else:
+        count = (
+            model.TOTAL_PACKAGES
+            - model.MP_PACKAGES
+            - model.SM_PACKAGES
+            + model.BOTH_PACKAGES
+        )
+        fields = [
+            getattr(everything, name) - getattr(mp, name) - getattr(sm, name)
+            + getattr(both, name)
+            for name in ("source_files", "source_eloc", "test_files", "test_eloc")
+        ]
+    return tuple(value / count for value in fields)
+
+
+def _files_eloc(rng: random.Random, group: str) -> Tuple[int, int, int, int]:
+    """Sample per-package file and ELoC counts for a group."""
+    files_mean, eloc_mean, tfiles_mean, teloc_mean = _group_means(group)
+    source_files = max(1, _poisson(rng, files_mean))
+    test_files = _poisson(rng, tfiles_mean)
+    source_eloc = max(10, int(rng.gauss(eloc_mean, eloc_mean * 0.3)))
+    test_eloc = max(0, int(rng.gauss(teloc_mean, teloc_mean * 0.3)))
+    return source_files, source_eloc, test_files, test_eloc
+
+
+def generate_package(name: str, group: str, rng: random.Random) -> PackageSpec:
+    """Sample one package's features from the paper's distributions."""
+    source_files, source_eloc, test_files, test_eloc = _files_eloc(rng, group)
+    package = PackageSpec(
+        name=name,
+        group=group,
+        source_files=source_files,
+        source_eloc=source_eloc,
+        test_files=test_files,
+        test_eloc=test_eloc,
+    )
+    if package.uses_message_passing:
+        means = model.mp_feature_means()
+        for feature, (source_mean, tests_mean) in means.items():
+            package.features[feature] = (
+                _poisson(rng, source_mean),
+                _poisson(rng, tests_mean),
+            )
+        blocking_source, _ = package.features.get("select_blocking", (0, 0))
+        _, blocking_tests = package.features.get("select_blocking", (0, 0))
+        package.select_cases_source = [
+            _sample_cases(rng, model.SELECT_CASE_PMF)
+            for _ in range(blocking_source)
+        ]
+        package.select_cases_tests = [
+            _sample_cases(rng, model.SELECT_CASE_PMF_TESTS)
+            for _ in range(blocking_tests)
+        ]
+    return package
+
+
+def generate_monorepo(
+    scale: float = 0.02, seed: int = 0
+) -> List[PackageSpec]:
+    """Sample ``scale`` × 119,816 packages with the paper's group mix.
+
+    Group counts are fixed by expectation (not sampled), so the Table I
+    ratios reproduce exactly at any scale; the per-package features are
+    sampled, so Table II reproduces in expectation.
+    """
+    rng = random.Random(seed)
+    counts = {
+        "mp": int((model.MP_PACKAGES - model.BOTH_PACKAGES) * scale),
+        "sm": int((model.SM_PACKAGES - model.BOTH_PACKAGES) * scale),
+        "both": int(model.BOTH_PACKAGES * scale),
+    }
+    total = int(model.TOTAL_PACKAGES * scale)
+    counts["neither"] = total - sum(counts.values())
+    packages: List[PackageSpec] = []
+    index = 0
+    for group, count in counts.items():
+        for _ in range(count):
+            packages.append(generate_package(f"pkg{index:06d}", group, rng))
+            index += 1
+    rng.shuffle(packages)
+    return packages

@@ -1,0 +1,97 @@
+"""Feature scanner: re-counts the synthetic monorepo into Tables I and II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stats import mode, percentile
+
+from .generator import PackageSpec
+
+
+@dataclass
+class Table1Row:
+    packages: int = 0
+    source_files: int = 0
+    source_eloc: int = 0
+    test_files: int = 0
+    test_eloc: int = 0
+
+
+def scan_table1(packages: Sequence[PackageSpec]) -> Dict[str, Table1Row]:
+    """Regenerate Table I: package/file/ELoC distribution by paradigm."""
+    rows = {key: Table1Row() for key in ("mp", "sm", "both", "all")}
+
+    def accumulate(row: Table1Row, package: PackageSpec) -> None:
+        row.packages += 1
+        row.source_files += package.source_files
+        row.source_eloc += package.source_eloc
+        row.test_files += package.test_files
+        row.test_eloc += package.test_eloc
+
+    for package in packages:
+        accumulate(rows["all"], package)
+        if package.uses_message_passing:
+            accumulate(rows["mp"], package)
+        if package.uses_shared_memory:
+            accumulate(rows["sm"], package)
+        if package.group == "both":
+            accumulate(rows["both"], package)
+    return rows
+
+
+@dataclass
+class Table2Summary:
+    """Regenerated Table II: feature totals plus select-case statistics."""
+
+    features: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    goroutine_total: Tuple[int, int] = (0, 0)
+    chan_alloc_total: Tuple[int, int] = (0, 0)
+    select_total: Tuple[int, int] = (0, 0)
+    select_case_p50: Tuple[int, int] = (0, 0)
+    select_case_p90: Tuple[int, int] = (0, 0)
+    select_case_max: Tuple[int, int] = (0, 0)
+    select_case_mode: Tuple[int, int] = (0, 0)
+
+
+def scan_table2(packages: Sequence[PackageSpec]) -> Table2Summary:
+    """Regenerate Table II over the message-passing packages."""
+    summary = Table2Summary()
+    totals: Dict[str, List[int]] = {}
+    cases_source: List[int] = []
+    cases_tests: List[int] = []
+    for package in packages:
+        if not package.uses_message_passing:
+            continue
+        for feature, (source, tests) in package.features.items():
+            bucket = totals.setdefault(feature, [0, 0])
+            bucket[0] += source
+            bucket[1] += tests
+        cases_source.extend(package.select_cases_source)
+        cases_tests.extend(package.select_cases_tests)
+
+    summary.features = {k: (v[0], v[1]) for k, v in totals.items()}
+
+    def total(*features: str) -> Tuple[int, int]:
+        source = sum(summary.features.get(f, (0, 0))[0] for f in features)
+        tests = sum(summary.features.get(f, (0, 0))[1] for f in features)
+        return source, tests
+
+    summary.goroutine_total = total("go_keyword", "go_wrapper")
+    summary.chan_alloc_total = total(
+        "chan_unbuffered", "chan_size1", "chan_const", "chan_dynamic"
+    )
+    summary.select_total = total("select_blocking", "select_nonblocking")
+    if cases_source and cases_tests:
+        summary.select_case_p50 = (
+            int(percentile(cases_source, 50)), int(percentile(cases_tests, 50))
+        )
+        summary.select_case_p90 = (
+            int(percentile(cases_source, 90)), int(percentile(cases_tests, 90))
+        )
+        summary.select_case_max = (max(cases_source), max(cases_tests))
+        summary.select_case_mode = (
+            int(mode(cases_source)), int(mode(cases_tests))
+        )
+    return summary

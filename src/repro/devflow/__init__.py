@@ -1,0 +1,21 @@
+"""CI pipeline simulation (paper Fig 5 and the GoLeak deployment)."""
+
+from .ci import (
+    CIPipeline,
+    DevFlowResult,
+    PRGenerator,
+    PullRequest,
+    WeekStats,
+    projected_annual_prevention,
+    simulate,
+)
+
+__all__ = [
+    "CIPipeline",
+    "DevFlowResult",
+    "PRGenerator",
+    "PullRequest",
+    "WeekStats",
+    "projected_annual_prevention",
+    "simulate",
+]

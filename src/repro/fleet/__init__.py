@@ -1,0 +1,28 @@
+"""Microservice fleet simulator: services, instances, RSS/CPU models."""
+
+from .cpu import CpuModel, DAY
+from .deployment import (
+    Fleet,
+    Service,
+    ServiceConfig,
+    ServiceSample,
+    capacity_for,
+)
+from .service import InstanceMetrics, ServiceInstance, WINDOW_SECONDS
+from .workload import Handler, RequestMix, TrafficShape
+
+__all__ = [
+    "CpuModel",
+    "DAY",
+    "Fleet",
+    "Handler",
+    "InstanceMetrics",
+    "RequestMix",
+    "Service",
+    "ServiceConfig",
+    "ServiceSample",
+    "ServiceInstance",
+    "TrafficShape",
+    "WINDOW_SECONDS",
+    "capacity_for",
+]

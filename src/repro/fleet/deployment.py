@@ -1,0 +1,165 @@
+"""Services, fleets, deploys and fixes (Figs 1, 2, 6 and Table V).
+
+A :class:`Service` owns N instances built from a config; ``deploy`` swaps
+the request mix and restarts every instance — redeploys clear accumulated
+leaks, which is exactly why the paper notes leaks "get elided" by fast
+deploy cycles and why Fig 1's RSS collapses when the fix lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cpu import CpuModel
+from .service import ServiceInstance, WINDOW_SECONDS
+from .workload import RequestMix, TrafficShape
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to (re)start a service's instances."""
+
+    name: str
+    mix: RequestMix
+    instances: int = 2
+    traffic: TrafficShape = field(default_factory=TrafficShape)
+    cpu_model: CpuModel = field(default_factory=CpuModel)
+    base_rss: int = 256 * 1024 * 1024
+    #: Scale factor: how many real instances each simulated one stands for.
+    instances_represented: int = 1
+
+    def with_mix(self, mix: RequestMix) -> "ServiceConfig":
+        return replace(self, mix=mix)
+
+
+@dataclass
+class ServiceSample:
+    """One fleet-level observation of a service."""
+
+    t: float
+    total_rss_bytes: int
+    peak_instance_rss: int
+    total_blocked_goroutines: int
+    peak_instance_blocked: int
+    mean_cpu_percent: float
+    max_cpu_percent: float
+
+
+class Service:
+    """A named service: config + running instances + its history."""
+
+    def __init__(self, config: ServiceConfig, seed: int = 0):
+        self.config = config
+        self.seed = seed
+        self.deploys = 0
+        self.instances: List[ServiceInstance] = []
+        self.history: List[ServiceSample] = []
+        self._start_instances(start_time=0.0)
+
+    def _start_instances(self, start_time: float) -> None:
+        self.instances = [
+            ServiceInstance(
+                service=self.config.name,
+                mix=self.config.mix,
+                traffic=self.config.traffic,
+                cpu_model=self.config.cpu_model,
+                base_rss=self.config.base_rss,
+                seed=self.seed * 1000 + self.deploys * 100 + index,
+                name=f"{self.config.name}/i-{index}",
+                start_time=start_time,
+            )
+            for index in range(self.config.instances)
+        ]
+        self.deploys += 1
+
+    @property
+    def now(self) -> float:
+        return self.instances[0].runtime.now if self.instances else 0.0
+
+    def deploy(self, mix: Optional[RequestMix] = None) -> None:
+        """Roll out new code: fresh processes, leaks gone, new mix live."""
+        if mix is not None:
+            self.config = self.config.with_mix(mix)
+        self._start_instances(start_time=self.now)
+
+    def advance_window(self, window: float = WINDOW_SECONDS) -> ServiceSample:
+        """Advance every instance one window and aggregate a sample."""
+        for instance in self.instances:
+            instance.advance_window(window)
+        rss = [instance.rss() for instance in self.instances]
+        blocked = [instance.leaked_goroutines() for instance in self.instances]
+        cpu = [instance.cpu_utilization() for instance in self.instances]
+        scale = self.config.instances_represented
+        sample = ServiceSample(
+            t=self.now,
+            total_rss_bytes=sum(rss) * scale,
+            peak_instance_rss=max(rss),
+            total_blocked_goroutines=sum(blocked) * scale,
+            peak_instance_blocked=max(blocked),
+            mean_cpu_percent=sum(cpu) / len(cpu),
+            max_cpu_percent=max(cpu),
+        )
+        self.history.append(sample)
+        return sample
+
+    # -- observability --------------------------------------------------------
+
+    def profiles(self):
+        return [instance.profile() for instance in self.instances]
+
+    def peak_rss(self) -> int:
+        """Highest fleet-wide RSS observed so far."""
+        return max((s.total_rss_bytes for s in self.history), default=0)
+
+    def peak_instance_rss(self) -> int:
+        return max((s.peak_instance_rss for s in self.history), default=0)
+
+
+class Fleet:
+    """All services under observation — what LeakProf sweeps daily."""
+
+    def __init__(self) -> None:
+        self.services: Dict[str, Service] = {}
+
+    def add(self, service: Service) -> "Fleet":
+        self.services[service.config.name] = service
+        return self
+
+    def __iter__(self):
+        return iter(self.services.values())
+
+    def all_instances(self) -> List[ServiceInstance]:
+        instances: List[ServiceInstance] = []
+        for service in self.services.values():
+            instances.extend(service.instances)
+        return instances
+
+    def advance_window(self, window: float = WINDOW_SECONDS) -> None:
+        for service in self.services.values():
+            service.advance_window(window)
+
+    def run_days(
+        self,
+        days: float,
+        window: float = WINDOW_SECONDS,
+        on_window: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Advance the whole fleet ``days`` of virtual time."""
+        windows = int(days * 86_400.0 / window)
+        for _ in range(windows):
+            self.advance_window(window)
+            if on_window is not None:
+                on_window(next(iter(self.services.values())).now)
+
+
+def capacity_for(peak_instance_rss: int, safety: float = 1.3,
+                 granularity_gb: float = 1.0) -> float:
+    """Provisioned per-instance memory (GB) for an observed peak RSS.
+
+    Owners provision peak × safety rounded up to the allocator's
+    granularity — the "Capacity (GB) per instance" column of Table V.
+    """
+    gb = peak_instance_rss * safety / (1024 ** 3)
+    steps = max(1, -(-gb // granularity_gb))  # ceil division
+    return steps * granularity_gb

@@ -1,0 +1,116 @@
+"""A simulated service instance: one process with a runtime and a workload.
+
+Each instance owns a :class:`~repro.runtime.Runtime`; every request runs a
+handler as a short-lived main goroutine.  Buggy handlers leak goroutines
+*into the instance's runtime* — the accumulation, RSS growth, and profile
+signatures all emerge from the same mechanics the tools detect, nothing is
+injected artificially.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.profiling import GoroutineProfile
+from repro.runtime import Runtime
+
+from .cpu import CpuModel
+from .workload import RequestMix, TrafficShape
+
+#: Default observation window: one hour of virtual time.
+WINDOW_SECONDS = 3600.0
+
+_instance_ids = itertools.count()
+
+
+@dataclass
+class InstanceMetrics:
+    """One sample of an instance's health (a monitoring datapoint)."""
+
+    t: float
+    rss_bytes: int
+    goroutines: int
+    cpu_percent: float
+    requests_served: int
+
+
+class ServiceInstance:
+    """One deployed copy of a service."""
+
+    def __init__(
+        self,
+        service: str,
+        mix: RequestMix,
+        traffic: TrafficShape,
+        cpu_model: Optional[CpuModel] = None,
+        base_rss: int = 256 * 1024 * 1024,
+        seed: int = 0,
+        name: Optional[str] = None,
+        start_time: float = 0.0,
+    ):
+        self.service = service
+        self.mix = mix
+        self.traffic = traffic
+        self.cpu_model = cpu_model or CpuModel()
+        self.name = name or f"{service}/i-{next(_instance_ids)}"
+        self.runtime = Runtime(
+            seed=seed,
+            base_rss=base_rss,
+            name=self.name,
+            panic_mode="record",
+        )
+        self.runtime.now = start_time
+        self.requests_served = 0
+        self.metrics: List[InstanceMetrics] = []
+
+    # -- serving -------------------------------------------------------------
+
+    def serve_one(self, handler) -> None:
+        """Run one request to completion (plus whatever it leaks)."""
+        self.runtime.run(
+            handler.bound(),
+            self.runtime,
+            deadline=self.runtime.now + 30.0,
+            detect_global_deadlock=False,
+        )
+        self.requests_served += 1
+
+    def advance_window(self, window: float = WINDOW_SECONDS) -> InstanceMetrics:
+        """Serve one window's traffic, then record a metrics sample."""
+        t = self.runtime.now
+        request_count = self.traffic.requests_at(t)
+        for _ in range(request_count):
+            handler = self.mix.sample(self.runtime.rng)
+            self.serve_one(handler)
+        # idle the remainder of the window (leaked goroutines just sit)
+        self.runtime.advance(max(0.0, (t + window) - self.runtime.now))
+        sample = InstanceMetrics(
+            t=self.runtime.now,
+            rss_bytes=self.rss(),
+            goroutines=self.runtime.num_goroutines,
+            cpu_percent=self.cpu_utilization(),
+            requests_served=request_count,
+        )
+        self.metrics.append(sample)
+        return sample
+
+    # -- observability (what the paper's infra sees) -------------------------
+
+    def rss(self) -> int:
+        return self.runtime.rss()
+
+    def leaked_goroutines(self) -> int:
+        return len(self.runtime.blocked_goroutines())
+
+    def cpu_utilization(self) -> float:
+        return self.cpu_model.utilization(
+            self.runtime.now, self.leaked_goroutines()
+        )
+
+    def profile(self) -> GoroutineProfile:
+        """The pprof endpoint LeakProf sweeps."""
+        return GoroutineProfile.take(
+            self.runtime, service=self.service, instance=self.name
+        )

@@ -1,0 +1,75 @@
+"""Request workloads for service instances: handler mixes and traffic shapes."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import diurnal
+
+from .cpu import DAY
+
+
+@dataclass(frozen=True)
+class Handler:
+    """One request handler: a pattern body plus its share of traffic.
+
+    ``body`` is a generator function ``(rt, **params)``; parameters are
+    bound here so the instance just spawns it per request.
+    """
+
+    name: str
+    body: Callable
+    weight: float = 1.0
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def bound(self) -> Callable:
+        if not self.params:
+            return self.body
+        return functools.partial(self.body, **dict(self.params))
+
+
+@dataclass
+class RequestMix:
+    """A weighted set of handlers; sampling is deterministic under a seed."""
+
+    handlers: List[Handler] = field(default_factory=list)
+
+    def add(self, name: str, body: Callable, weight: float = 1.0,
+            **params) -> "RequestMix":
+        self.handlers.append(
+            Handler(name, body, weight, tuple(sorted(params.items())))
+        )
+        return self
+
+    def sample(self, rng) -> Handler:
+        total = sum(h.weight for h in self.handlers)
+        point = rng.uniform(0, total)
+        cumulative = 0.0
+        for handler in self.handlers:
+            cumulative += handler.weight
+            if point <= cumulative:
+                return handler
+        return self.handlers[-1]
+
+
+@dataclass(frozen=True)
+class TrafficShape:
+    """Requests per window, with the fleet's characteristic diurnal swing."""
+
+    requests_per_window: int = 100
+    diurnal_fraction: float = 0.3  # +-30% swing around the mean
+    #: Optional (start, end, multiplier) windows modeling outages or load
+    #: imbalance — the unusual circumstances the paper says activate
+    #: partial deadlocks in just a few instances (§V-A).
+    surges: Tuple[Tuple[float, float, float], ...] = ()
+
+    def requests_at(self, t_seconds: float) -> int:
+        base = self.requests_per_window
+        swing = base * self.diurnal_fraction
+        value = diurnal(t_seconds, base - swing / 2, swing, period=DAY)
+        for start, end, multiplier in self.surges:
+            if start <= t_seconds < end:
+                value *= multiplier
+        return max(0, int(round(value)))

@@ -1,0 +1,74 @@
+"""GoLeak: test-time goroutine-leak detection (paper Section IV).
+
+Usage::
+
+    from repro.goleak import verify_none, find, TestTarget, verify_test_main
+
+    rt = Runtime()
+    rt.run(my_test, rt)
+    verify_none(rt)                     # raises LeakError on lingering goroutines
+"""
+
+from .api import (
+    LeakError,
+    TargetResult,
+    TestCase,
+    TestTarget,
+    find,
+    format_leaks,
+    verify_none,
+    verify_test_main,
+)
+from .classify import (
+    BlockType,
+    GUARANTEED_DEADLOCK_TYPES,
+    MESSAGE_PASSING_TYPES,
+    census,
+    classify,
+    message_passing_share,
+)
+from .instrument import (
+    InstrumentedTarget,
+    TrialRunReport,
+    auto_instrument,
+    trial_run,
+)
+from .options import (
+    Options,
+    SuppressionList,
+    build_options,
+    ignore_any_function,
+    ignore_created_by,
+    ignore_current,
+    ignore_top_function,
+    max_retries,
+)
+
+__all__ = [
+    "BlockType",
+    "GUARANTEED_DEADLOCK_TYPES",
+    "InstrumentedTarget",
+    "LeakError",
+    "MESSAGE_PASSING_TYPES",
+    "Options",
+    "SuppressionList",
+    "TargetResult",
+    "TestCase",
+    "TestTarget",
+    "TrialRunReport",
+    "auto_instrument",
+    "build_options",
+    "census",
+    "classify",
+    "find",
+    "format_leaks",
+    "ignore_any_function",
+    "ignore_created_by",
+    "ignore_current",
+    "ignore_top_function",
+    "max_retries",
+    "message_passing_share",
+    "trial_run",
+    "verify_none",
+    "verify_test_main",
+]

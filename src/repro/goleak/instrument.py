@@ -1,0 +1,95 @@
+"""Automatic instrumentation of test targets (Section IV-A).
+
+The paper patches Bazel test targets during the build so that every target
+ends with ``goleak.VerifyTestMain`` — developers cannot forget (or dodge)
+the check.  Here, :func:`auto_instrument` wraps plain test targets into
+:class:`InstrumentedTarget` objects whose ``run`` performs the end-of-suite
+leak check, and :func:`trial_run` performs the paper's offline bootstrap:
+run everything once, collect all leaking locations, and seed the
+suppression list so that only *new* leaks block PRs from then on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .api import TargetResult, TestTarget, verify_test_main
+from .options import SuppressionList
+
+
+@dataclass
+class InstrumentedTarget:
+    """A test target with goleak's TestMain hook transparently added."""
+
+    target: TestTarget
+    options: Tuple[object, ...] = ()
+
+    @property
+    def package(self) -> str:
+        return self.target.package
+
+    def run(
+        self, suppressions: Optional[SuppressionList] = None, seed: int = 0
+    ) -> TargetResult:
+        options: List[object] = list(self.options)
+        if suppressions is not None:
+            options.append(suppressions)
+        return verify_test_main(self.target, *options, seed=seed)
+
+
+def auto_instrument(
+    targets: Iterable[TestTarget], *options
+) -> List[InstrumentedTarget]:
+    """Patch every target with the goleak TestMain hook."""
+    return [InstrumentedTarget(target, tuple(options)) for target in targets]
+
+
+@dataclass
+class TrialRunReport:
+    """Outcome of the offline bootstrap run over the whole monorepo."""
+
+    suppression_list: SuppressionList
+    #: Function names of lingering goroutines that are channel leaks.
+    partial_deadlocks: List[str] = field(default_factory=list)
+    #: Function names of other runaway goroutines (timers, IO, ...).
+    other_runaways: List[str] = field(default_factory=list)
+    results: List[TargetResult] = field(default_factory=list)
+
+    @property
+    def total_suppressed(self) -> int:
+        return len(self.suppression_list)
+
+
+def trial_run(
+    targets: Sequence[InstrumentedTarget], seed: int = 0
+) -> TrialRunReport:
+    """Run all targets once and seed the suppression list (Section IV-A).
+
+    Every lingering goroutine's *function name* goes on the suppression
+    list; channel-blocked ones are classified as partial deadlocks, the
+    rest as other runaway goroutines.  The paper's numbers: an initial
+    list of 1040 entries, 857 of them partial deadlocks.
+    """
+    suppression = SuppressionList()
+    deadlocks: List[str] = []
+    runaways: List[str] = []
+    results: List[TargetResult] = []
+    for index, instrumented in enumerate(targets):
+        result = instrumented.run(seed=seed + index)
+        results.append(result)
+        for record in result.leaks:
+            name = record.blocking_function or record.name
+            if name in suppression:
+                continue
+            suppression.add(name)
+            if record.is_blocked:
+                deadlocks.append(name)
+            else:
+                runaways.append(name)
+    return TrialRunReport(
+        suppression_list=suppression,
+        partial_deadlocks=deadlocks,
+        other_runaways=runaways,
+        results=results,
+    )

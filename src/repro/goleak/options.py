@@ -1,0 +1,139 @@
+"""Filtering options for goleak, mirroring uber-go/goleak's ``Option`` API.
+
+Options decide which lingering goroutines are *expected* (and therefore not
+reported): known background pollers, goroutines present before the test
+started, and anything on the repo-wide suppression list the paper describes
+in Section IV-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.profiling import GoroutineRecord
+
+#: A predicate deciding whether a lingering goroutine should be ignored.
+Filter = Callable[[GoroutineRecord], bool]
+
+
+@dataclass
+class Options:
+    """Aggregated goleak options.
+
+    ``retries``/``retry_interval`` implement goleak's grace period: a
+    goroutine that is merely *slow* to exit (not leaked) gets ``retries``
+    chances, with the virtual clock advanced ``retry_interval`` seconds
+    between attempts, before being reported.
+    """
+
+    filters: List[Filter] = field(default_factory=list)
+    retries: int = 20
+    retry_interval: float = 0.1
+
+    def ignored(self, record: GoroutineRecord) -> bool:
+        return any(f(record) for f in self.filters)
+
+
+def build_options(*options) -> Options:
+    """Fold a mix of :class:`Options` and filters into one Options value."""
+    merged = Options()
+    for option in options:
+        if isinstance(option, Options):
+            merged.filters.extend(option.filters)
+            merged.retries = option.retries
+            merged.retry_interval = option.retry_interval
+        elif callable(option):
+            merged.filters.append(option)
+        else:
+            raise TypeError(f"not a goleak option: {option!r}")
+    return merged
+
+
+def ignore_top_function(function: str) -> Filter:
+    """Ignore goroutines whose top (blocking) user frame is ``function``.
+
+    The analog of ``goleak.IgnoreTopFunction``.
+    """
+
+    def matches(record: GoroutineRecord) -> bool:
+        return record.blocking_function == function
+
+    return matches
+
+
+def ignore_any_function(substring: str) -> Filter:
+    """Ignore goroutines with ``substring`` anywhere in their stack."""
+
+    def matches(record: GoroutineRecord) -> bool:
+        return any(substring in frame.function for frame in record.user_frames)
+
+    return matches
+
+
+def ignore_created_by(function: str) -> Filter:
+    """Ignore goroutines created by ``function`` (spawn-site filter)."""
+
+    def matches(record: GoroutineRecord) -> bool:
+        ctx = record.creation_ctx
+        return ctx is not None and ctx.function == function
+
+    return matches
+
+
+def ignore_current(records: Iterable[GoroutineRecord]) -> Filter:
+    """Ignore goroutines that already existed when the filter was built.
+
+    The analog of ``goleak.IgnoreCurrent``: snapshot before the test, then
+    anything with a pre-existing gid is expected.
+    """
+    existing: Set[int] = {record.gid for record in records}
+
+    def matches(record: GoroutineRecord) -> bool:
+        return record.gid in existing
+
+    return matches
+
+
+def max_retries(retries: int, interval: float = 0.1) -> Options:
+    """Override the retry schedule (``goleak.MaxRetryAttempts`` analog)."""
+    return Options(retries=retries, retry_interval=interval)
+
+
+class SuppressionList:
+    """The repo-wide suppression list of Section IV-A.
+
+    Holds *function names* of known-leaky goroutines; PRs whose only
+    lingering goroutines match the list are not blocked.  Mutable on
+    purpose: teams remove entries as they fix legacy leaks and CI adds
+    entries when an urgent PR is waved through (both happen in the paper,
+    Section VI).
+    """
+
+    def __init__(self, functions: Optional[Iterable[str]] = None):
+        self._functions: Set[str] = set(functions or ())
+
+    def __contains__(self, function: str) -> bool:
+        return function in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def add(self, function: str) -> None:
+        self._functions.add(function)
+
+    def remove(self, function: str) -> None:
+        self._functions.discard(function)
+
+    def covers(self, record: GoroutineRecord) -> bool:
+        """Is this lingering goroutine suppressed?"""
+        return (
+            record.blocking_function in self._functions
+            or record.name in self._functions
+        )
+
+    def as_filter(self) -> Filter:
+        return self.covers
+
+    def snapshot(self) -> Set[str]:
+        return set(self._functions)

@@ -1,0 +1,55 @@
+"""Fleet-wide profile collection (§V-A, "Profile collection").
+
+LeakProf fetches goroutine profiles once per day from every service
+instance over the network.  The collector does the same against the fleet
+simulator: each instance serializes its profile to the pprof text format
+and the collector parses it back — the round-trip mirrors the network
+transfer and guarantees the detector only sees what a real profile file
+contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Protocol, Tuple
+
+from repro.profiling import GoroutineProfile, dump_text, parse_text
+
+
+class Profilable(Protocol):
+    """Anything exposing a pprof endpoint: (service, instance, profile)."""
+
+    def profile(self) -> GoroutineProfile:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for one collection sweep (the §V-B overhead numbers)."""
+
+    instances_swept: int = 0
+    goroutines_seen: int = 0
+    bytes_transferred: int = 0
+
+
+def sweep(
+    instances: Iterable[Profilable],
+    via_text: bool = True,
+) -> Tuple[List[GoroutineProfile], SweepStats]:
+    """Collect one profile from every instance.
+
+    With ``via_text`` (the default) each profile goes through the text
+    serialization round-trip, as over the wire.
+    """
+    stats = SweepStats()
+    profiles: List[GoroutineProfile] = []
+    for instance in instances:
+        profile = instance.profile()
+        if via_text:
+            text = dump_text(profile)
+            stats.bytes_transferred += len(text)
+            profile = parse_text(text)
+        profiles.append(profile)
+        stats.instances_swept += 1
+        stats.goroutines_seen += len(profile)
+    return profiles, stats

@@ -1,0 +1,91 @@
+"""Criterion 1: the per-profile blocked-goroutine threshold (§V-A).
+
+"The threshold is set to 10K blocked goroutines at the same source
+location in a program; the threshold was determined empirically by
+starting at a larger number and slowly reducing it as long as the ratio
+of true positives remained high."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiling import GoroutineProfile, GoroutineRecord
+
+from .filters import is_trivially_nonblocking
+
+#: The paper's production threshold.
+DEFAULT_THRESHOLD = 10_000
+
+
+@dataclass(frozen=True)
+class Suspect:
+    """One blocking source location exceeding the threshold in one profile."""
+
+    service: Optional[str]
+    instance: Optional[str]
+    state: str  # "chan send" | "chan receive" | "select"
+    location: str  # file:line of the blocking operation
+    count: int
+    representative: GoroutineRecord  # one stack for the report
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Identity for fleet-wide aggregation: (state, location)."""
+        return (self.state, self.location)
+
+
+def scan_profile(
+    profile: GoroutineProfile,
+    threshold: int = DEFAULT_THRESHOLD,
+    apply_transient_filter: bool = True,
+) -> List[Suspect]:
+    """Find suspicious blocking concentrations in one goroutine profile.
+
+    Implements both of the paper's criteria: counts below ``threshold``
+    are dropped (Criterion 1), and operations static analysis proves
+    transiently blocking are dropped (Criterion 2).
+    """
+    by_signature: Dict[Tuple[str, str], List[GoroutineRecord]] = {}
+    for record in profile.blocked():
+        location = record.blocking_location
+        if location is None:
+            continue
+        by_signature.setdefault((record.state.value, location), []).append(record)
+
+    suspects: List[Suspect] = []
+    for (state, location), records in by_signature.items():
+        if len(records) < threshold:
+            continue
+        if apply_transient_filter and is_trivially_nonblocking(records[0]):
+            continue
+        suspects.append(
+            Suspect(
+                service=profile.service,
+                instance=profile.instance,
+                state=state,
+                location=location,
+                count=len(records),
+                representative=records[0],
+            )
+        )
+    return suspects
+
+
+def scan_fleet(
+    profiles,
+    threshold: int = DEFAULT_THRESHOLD,
+    apply_transient_filter: bool = True,
+) -> List[Suspect]:
+    """Scan every instance profile of a fleet sweep."""
+    suspects: List[Suspect] = []
+    for profile in profiles:
+        suspects.extend(
+            scan_profile(
+                profile,
+                threshold=threshold,
+                apply_transient_filter=apply_transient_filter,
+            )
+        )
+    return suspects

@@ -1,0 +1,77 @@
+"""Perceived-impact ranking via root mean square (§V-A).
+
+"We conduct a perceived impact evaluation by calculating the root mean
+square (RMS) based on the count of blocked goroutines at a specific
+blocking source location across profiles from all service instances.
+RMS was selected for its capability to effectively highlight suspicious
+operations within individual instances that exhibit significant clusters
+of blocked goroutines."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.profiling import GoroutineRecord
+
+from .detector import Suspect
+from repro.analysis.stats import rms
+
+
+@dataclass(frozen=True)
+class LeakCandidate:
+    """A fleet-wide suspicious blocking operation, ranked by RMS impact."""
+
+    service: Optional[str]
+    state: str
+    location: str
+    rms_blocked: float
+    total_blocked: int
+    peak_instance_count: int
+    instances_affected: int
+    representative: GoroutineRecord
+
+    @property
+    def key(self) -> Tuple[Optional[str], str, str]:
+        return (self.service, self.state, self.location)
+
+
+def aggregate(suspects: Sequence[Suspect]) -> List[LeakCandidate]:
+    """Fold per-instance suspects into per-(service, op) candidates."""
+    groups: Dict[Tuple[Optional[str], str, str], List[Suspect]] = {}
+    for suspect in suspects:
+        key = (suspect.service, suspect.state, suspect.location)
+        groups.setdefault(key, []).append(suspect)
+
+    candidates: List[LeakCandidate] = []
+    for (service, state, location), members in groups.items():
+        counts = [member.count for member in members]
+        # The representative profile is the one with the most blocked
+        # goroutines — what the paper attaches to the report.
+        representative = max(members, key=lambda member: member.count)
+        candidates.append(
+            LeakCandidate(
+                service=service,
+                state=state,
+                location=location,
+                rms_blocked=rms(counts),
+                total_blocked=sum(counts),
+                peak_instance_count=max(counts),
+                instances_affected=len(members),
+                representative=representative.representative,
+            )
+        )
+    return candidates
+
+
+def rank_by_impact(
+    suspects: Sequence[Suspect], top_n: Optional[int] = None
+) -> List[LeakCandidate]:
+    """Order candidates by RMS impact, highest first; keep the top N."""
+    candidates = sorted(
+        aggregate(suspects), key=lambda c: c.rms_blocked, reverse=True
+    )
+    if top_n is not None:
+        candidates = candidates[:top_n]
+    return candidates

@@ -1,0 +1,104 @@
+"""The end-to-end LeakProf pipeline (Fig 3, right half).
+
+One daily run: sweep fleet profiles → per-profile threshold scan
+(Criterion 1) → transient-operation filter (Criterion 2) → fleet-wide RMS
+impact ranking → top-N selection → Bug-DB deduplication → ownership
+routing → filed reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.profiling import GoroutineProfile
+
+from .collector import Profilable, SweepStats, sweep
+from .detector import DEFAULT_THRESHOLD, Suspect, scan_fleet
+from .impact import LeakCandidate, rank_by_impact
+from .ownership import OwnershipRouter
+from .reports import BugDatabase, LeakReport
+
+
+@dataclass
+class DailyRunResult:
+    """Everything one LeakProf run produced."""
+
+    suspects: List[Suspect]
+    candidates: List[LeakCandidate]
+    new_reports: List[LeakReport]
+    duplicates: List[LeakCandidate]
+    sweep_stats: Optional[SweepStats] = None
+
+
+class LeakProf:
+    """The paper's production monitor, parameterized like the deployment.
+
+    ``threshold`` is the 10K blocked-goroutine bar of Criterion 1;
+    ``top_n`` bounds how many owners get alerted per run.
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        top_n: int = 10,
+        apply_transient_filter: bool = True,
+        router: Optional[OwnershipRouter] = None,
+        bug_db: Optional[BugDatabase] = None,
+    ):
+        self.threshold = threshold
+        self.top_n = top_n
+        self.apply_transient_filter = apply_transient_filter
+        self.router = router or OwnershipRouter()
+        self.bug_db = bug_db or BugDatabase()
+
+    def analyze_profiles(
+        self,
+        profiles: Sequence[GoroutineProfile],
+        now: float = 0.0,
+        memory_footprints=None,
+    ) -> DailyRunResult:
+        """Run detection over already-collected profiles."""
+        suspects = scan_fleet(
+            profiles,
+            threshold=self.threshold,
+            apply_transient_filter=self.apply_transient_filter,
+        )
+        candidates = rank_by_impact(suspects, top_n=self.top_n)
+        new_reports: List[LeakReport] = []
+        duplicates: List[LeakCandidate] = []
+        for candidate in candidates:
+            footprint = None
+            if memory_footprints is not None:
+                footprint = memory_footprints.get(candidate.service)
+            report = self.bug_db.file(
+                candidate,
+                owner=self.router.route(candidate.location),
+                filed_at=now,
+                memory_footprint=footprint,
+            )
+            if report is None:
+                duplicates.append(candidate)
+            else:
+                new_reports.append(report)
+        return DailyRunResult(
+            suspects=suspects,
+            candidates=candidates,
+            new_reports=new_reports,
+            duplicates=duplicates,
+        )
+
+    def daily_run(
+        self,
+        instances: Iterable[Profilable],
+        now: float = 0.0,
+        via_text: bool = True,
+        memory_footprints=None,
+    ) -> DailyRunResult:
+        """Sweep the fleet then analyze (the full Fig 3 loop)."""
+        profiles, stats = sweep(instances, via_text=via_text)
+        result = self.analyze_profiles(
+            profiles, now=now, memory_footprints=memory_footprints
+        )
+        result.sweep_stats = stats
+        return result

@@ -1,0 +1,125 @@
+"""Report generation, deduplication and the bug database (§V-A, Fig 3).
+
+After ranking, LeakProf "determines source code ownership and alerts the
+owners of the top N-most impactful blocking locations"; Fig 3 shows
+reports flowing through a deduplicating Bug DB before being filed.  Each
+report carries the offending operation, the blocked-goroutine count, the
+representative profile and the memory footprint over time.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .impact import LeakCandidate
+
+_report_ids = itertools.count(1)
+
+
+class ReportStatus(enum.Enum):
+    """Triage lifecycle matching the paper's 33 → 24 → 21 funnel."""
+
+    OPEN = "open"
+    ACKNOWLEDGED = "acknowledged"
+    FIXED = "fixed"
+    REJECTED = "rejected"  # triaged as false positive / won't fix
+
+
+@dataclass
+class LeakReport:
+    """One filed alert: everything a service owner needs to triage."""
+
+    report_id: int
+    candidate: LeakCandidate
+    owner: Optional[str] = None
+    status: ReportStatus = ReportStatus.OPEN
+    filed_at: float = 0.0
+    #: (time, rss_bytes) samples supporting the "memory footprint over
+    #: time" section of the report.
+    memory_footprint: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def summary(self) -> str:
+        c = self.candidate
+        return (
+            f"[{self.status.value}] {c.service or '?'} {c.state} at "
+            f"{c.location}: peak {c.peak_instance_count} blocked goroutines "
+            f"in one instance, {c.total_blocked} fleet-wide across "
+            f"{c.instances_affected} instances (RMS {c.rms_blocked:.1f})"
+        )
+
+
+class BugDatabase:
+    """Deduplicating store of leak reports (the Bug DB of Fig 3).
+
+    Identity is the candidate key (service, state, location): re-detecting
+    a known leak on a later daily run must not re-alert the owners.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[Optional[str], str, str], LeakReport] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, candidate: LeakCandidate) -> bool:
+        return candidate.key in self._by_key
+
+    def file(
+        self,
+        candidate: LeakCandidate,
+        owner: Optional[str] = None,
+        filed_at: float = 0.0,
+        memory_footprint: Optional[Sequence[Tuple[float, int]]] = None,
+    ) -> Optional[LeakReport]:
+        """File a report unless one already exists; None means duplicate."""
+        if candidate.key in self._by_key:
+            return None
+        report = LeakReport(
+            report_id=next(_report_ids),
+            candidate=candidate,
+            owner=owner,
+            filed_at=filed_at,
+            memory_footprint=list(memory_footprint or ()),
+        )
+        self._by_key[candidate.key] = report
+        return report
+
+    def get(self, candidate: LeakCandidate) -> Optional[LeakReport]:
+        return self._by_key.get(candidate.key)
+
+    def all_reports(self) -> List[LeakReport]:
+        return list(self._by_key.values())
+
+    def by_status(self, status: ReportStatus) -> List[LeakReport]:
+        return [r for r in self._by_key.values() if r.status is status]
+
+    # -- triage transitions -------------------------------------------------
+
+    def acknowledge(self, report: LeakReport) -> None:
+        if report.status is ReportStatus.OPEN:
+            report.status = ReportStatus.ACKNOWLEDGED
+
+    def mark_fixed(self, report: LeakReport) -> None:
+        report.status = ReportStatus.FIXED
+
+    def reject(self, report: LeakReport) -> None:
+        report.status = ReportStatus.REJECTED
+
+    def funnel(self) -> Dict[str, int]:
+        """The paper's reported/acknowledged/fixed counts."""
+        reports = self.all_reports()
+        acknowledged = [
+            r
+            for r in reports
+            if r.status in (ReportStatus.ACKNOWLEDGED, ReportStatus.FIXED)
+        ]
+        fixed = [r for r in reports if r.status is ReportStatus.FIXED]
+        return {
+            "reported": len(reports),
+            "acknowledged": len(acknowledged),
+            "fixed": len(fixed),
+        }

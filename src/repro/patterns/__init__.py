@@ -1,0 +1,39 @@
+"""The paper's leak patterns (Listings 1-9) and healthy counterparts."""
+
+from . import (
+    contract_violation,
+    double_send,
+    guaranteed,
+    healthy,
+    ncast,
+    premature_return,
+    timeout_leak,
+    timer_loop,
+    unclosed_range,
+)
+from .registry import (
+    PAPER_CATEGORY_SHARES,
+    PAPER_CAUSE_MIX,
+    PATTERNS,
+    Pattern,
+    by_category,
+    get,
+)
+
+__all__ = [
+    "PAPER_CATEGORY_SHARES",
+    "PAPER_CAUSE_MIX",
+    "PATTERNS",
+    "Pattern",
+    "by_category",
+    "contract_violation",
+    "double_send",
+    "get",
+    "guaranteed",
+    "healthy",
+    "ncast",
+    "premature_return",
+    "timeout_leak",
+    "timer_loop",
+    "unclosed_range",
+]

@@ -1,0 +1,106 @@
+"""Method contract violation (paper Listing 6, §VI-C1).
+
+``Worker.Start`` launches a listener whose lifetime is bounded only by an
+eventual ``Worker.Stop``.  Callers that forget to stop leak the listener
+in its select.  The largest class of select leaks (86.16% are contract
+violations; 58.47% the done-channel form, 16.93% the context form).
+
+Fixes shown: call Stop (done-channel contract honored) and the context
+variant where cancellation is wired by the caller.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import case_recv, go, recv_ok, select, send, sleep
+from repro.runtime import context as goctx
+
+
+class Worker:
+    """The paper's Worker type: ch for work, done for shutdown."""
+
+    def __init__(self, rt):
+        self.rt = rt
+        self.ch = rt.make_chan(0, label="worker.ch")
+        self.done = rt.make_chan(0, label="worker.done")
+
+    def _listen(self):
+        while True:
+            index, _ = yield select(
+                case_recv(self.ch),  # normal workflow
+                case_recv(self.done),  # shutdown
+            )
+            if index == 1:
+                return
+
+    def start(self):
+        """Launch the listener; establishes the Start/Stop contract."""
+        yield go(self._listen, name="Worker.listener")
+
+    def stop(self):
+        """Honoring the contract lets the listener exit."""
+        self.done.close()
+
+
+def leaky(rt, jobs=2):
+    """``foo()`` of Listing 6: starts a worker, never stops it."""
+    worker = Worker(rt)
+    yield from worker.start()
+    for job in range(jobs):
+        yield send(worker.ch, job)
+    return None  # exits without calling worker.stop()
+
+
+def fixed(rt, jobs=2):
+    """Contract honored: stop() bounds the listener's lifetime."""
+    worker = Worker(rt)
+    yield from worker.start()
+    for job in range(jobs):
+        yield send(worker.ch, job)
+    worker.stop()
+    yield sleep(0.01)
+    return None
+
+
+class ContextWorker:
+    """The §VI-C context.Context variant of the same contract."""
+
+    def __init__(self, rt, ctx):
+        self.rt = rt
+        self.ctx = ctx
+        self.ch = rt.make_chan(0, label="ctxworker.ch")
+
+    def _listen(self):
+        while True:
+            index, _ = yield select(
+                case_recv(self.ch),
+                case_recv(self.ctx.done()),
+            )
+            if index == 1:
+                return
+
+    def start(self):
+        yield go(self._listen, name="ContextWorker.listener")
+
+
+def leaky_context_variant(rt, jobs=2):
+    """Caller builds a cancellable context but never cancels it."""
+    ctx, _cancel = goctx.with_cancel(goctx.background(rt))
+    worker = ContextWorker(rt, ctx)
+    yield from worker.start()
+    for job in range(jobs):
+        yield send(worker.ch, job)
+    return None  # _cancel is dropped: the listener leaks
+
+
+def fixed_context_variant(rt, jobs=2):
+    ctx, cancel = goctx.with_cancel(goctx.background(rt))
+    worker = ContextWorker(rt, ctx)
+    yield from worker.start()
+    for job in range(jobs):
+        yield send(worker.ch, job)
+    cancel()
+    yield sleep(0.01)
+    return None
+
+
+LEAKS_PER_CALL = 1

@@ -1,0 +1,52 @@
+"""The double-send leak (paper Listing 5, §VI-B1).
+
+On the error path the sender sends ``nil`` but forgets to ``return``, so
+it falls through to a *second* send on a channel whose receiver only ever
+receives once.  Fix: return after the error send.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Payload, go, recv, send, sleep
+
+DEFAULT_PAYLOAD = 8 * 1024
+
+
+def _create_item(fail):
+    yield sleep(0.001)
+    if fail:
+        return None, "creation failed"
+    return "item", None
+
+
+def _sender_buggy(ch, fail, payload_bytes):
+    item, err = yield from _create_item(fail)
+    if err is not None:
+        yield send(ch, None)  # send nil ... but missing `return`!
+    yield send(ch, Payload(item, payload_bytes))  # second send: leaks
+
+
+def _sender_fixed(ch, fail, payload_bytes):
+    item, err = yield from _create_item(fail)
+    if err is not None:
+        yield send(ch, None)
+        return  # the missing statement
+    yield send(ch, Payload(item, payload_bytes))
+
+
+def leaky(rt, fail=True, payload_bytes=DEFAULT_PAYLOAD):
+    """Receiver takes one message; on failure the sender leaks on send #2."""
+    ch = rt.make_chan(0, label="items")
+    yield go(_sender_buggy, ch, fail, payload_bytes)
+    item = yield recv(ch)
+    return item
+
+
+def fixed(rt, fail=True, payload_bytes=DEFAULT_PAYLOAD):
+    ch = rt.make_chan(0, label="items")
+    yield go(_sender_fixed, ch, fail, payload_bytes)
+    item = yield recv(ch)
+    return item
+
+
+LEAKS_PER_CALL = 1  # on the failure path

@@ -1,0 +1,47 @@
+"""Guaranteed partial deadlocks (paper §VI-D, Table IV's rare rows).
+
+Sending/receiving on a nil channel and empty select statements block
+unconditionally — no interleaving can save them.  They are rare in the
+paper's census (14 + 5 + 10 goroutines out of 164K) but serve as the
+ground-truth "always leaks" cases for detector testing.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import NIL_CHANNEL, go, recv, select, send
+
+
+def _recv_nil():
+    yield recv(NIL_CHANNEL)  # blocks forever
+
+
+def _send_nil():
+    yield send(NIL_CHANNEL, "never delivered")  # blocks forever
+
+
+def _empty_select():
+    yield select()  # select{}: blocks forever
+
+
+def leaky_nil_recv(rt):
+    """Spawn a goroutine stuck receiving on a nil channel."""
+    yield go(_recv_nil, name="nil-receiver")
+
+
+def leaky_nil_send(rt):
+    """Spawn a goroutine stuck sending on a nil channel."""
+    yield go(_send_nil, name="nil-sender")
+
+
+def leaky_empty_select(rt):
+    """Spawn a goroutine stuck in ``select {}``."""
+    yield go(_empty_select, name="empty-selector")
+
+
+def fixed(rt):
+    """There is no 'fixed' variant of a guaranteed deadlock: don't write it.
+
+    Provided for registry symmetry; does nothing and leaks nothing.
+    """
+    return
+    yield  # pragma: no cover - makes this a generator function

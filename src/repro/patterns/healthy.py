@@ -1,0 +1,111 @@
+"""Healthy concurrency patterns: correct code the detectors must NOT flag.
+
+These are the true-negative workloads used for precision measurements
+(Table III) and as the non-leaky request handlers in the fleet simulator.
+Each runs to completion leaving zero goroutines behind.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    Payload,
+    WaitGroup,
+    case_recv,
+    chan_range,
+    go,
+    recv,
+    select,
+    send,
+    sleep,
+)
+from repro.runtime import context as goctx
+
+
+def fan_out_fan_in(rt, n_workers=4, n_items=8):
+    """Classic pipeline: close(work) after the last send; workers drain."""
+    work = rt.make_chan(0, label="work")
+    results = rt.make_chan(n_items, label="results")
+
+    def worker():
+        def process(item):
+            yield send(results, item * 2)
+
+        yield from chan_range(work, process)
+
+    for _ in range(n_workers):
+        yield go(worker)
+    for item in range(n_items):
+        yield send(work, item)
+    work.close()
+    collected = []
+    for _ in range(n_items):
+        collected.append((yield recv(results)))
+    return sorted(collected)
+
+
+def request_response(rt, payload_bytes=1024):
+    """Buffered request/response: no path leaks the responder."""
+    ch = rt.make_chan(1, label="response")
+
+    def responder():
+        yield sleep(0.001)
+        yield send(ch, Payload("pong", payload_bytes))
+
+    yield go(responder)
+    reply = yield recv(ch)
+    return reply
+
+
+def waitgroup_barrier(rt, n=6):
+    """Fork-join via WaitGroup: structured, leak-free."""
+    wg = WaitGroup()
+    wg.add(n)
+    done = []
+
+    def job(i):
+        yield sleep(0.001 * i)
+        done.append(i)
+        wg.done()
+
+    for i in range(n):
+        yield go(job, i)
+    yield wg.wait()
+    return sorted(done)
+
+
+def bounded_timeout(rt, timeout=1.0, work_seconds=0.001):
+    """Timeout pattern done right: capacity-1 channel, worker never leaks."""
+    ctx, cancel = goctx.with_timeout(goctx.background(rt), timeout)
+    ch = rt.make_chan(1, label="result")
+
+    def workload():
+        yield sleep(work_seconds)
+        yield send(ch, "done")
+
+    yield go(workload)
+    index, value = yield select(case_recv(ch), case_recv(ctx.done()))
+    cancel()
+    return value if index == 0 else None
+
+
+def ticker_with_stop(rt, period=0.5, iterations=3):
+    """A periodic task whose lifetime the caller controls."""
+    ticker = rt.new_ticker(period)
+    done = rt.make_chan(0, label="done")
+    beats = []
+
+    def beat_loop():
+        while True:
+            index, value = yield select(
+                case_recv(ticker.channel), case_recv(done)
+            )
+            if index == 1:
+                return
+            beats.append(value)
+
+    yield go(beat_loop)
+    yield sleep(period * iterations + period / 2)
+    ticker.stop()
+    done.close()
+    yield sleep(0.01)
+    return len(beats)

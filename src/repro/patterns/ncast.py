@@ -1,0 +1,43 @@
+"""The NCast leak (paper Listing 9, §VII-A3).
+
+``len(items)`` workers each send one result on an unbuffered channel, but
+the parent receives only the first (it wants the fastest answer).  Every
+other sender blocks forever.  Fix: capacity ``len(items)``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Payload, go, recv, send, sleep
+
+DEFAULT_PAYLOAD = 16 * 1024
+
+
+def _query_backend(ch, index, payload_bytes):
+    """One hedged request: compute then send the answer."""
+    yield sleep(0.001 * (index + 1))
+    yield send(ch, Payload(("answer", index), payload_bytes))
+
+
+def leaky(rt, n_items=5, payload_bytes=DEFAULT_PAYLOAD):
+    """Wait for the first of ``n_items`` responses; leak the rest."""
+    ch = rt.make_chan(0, label="responses")
+    for index in range(n_items):
+        yield go(_query_backend, ch, index, payload_bytes)
+    first = yield recv(ch)  # remaining n_items-1 senders leak
+    return first
+
+
+def fixed(rt, n_items=5, payload_bytes=DEFAULT_PAYLOAD):
+    """The paper's fix: capacity len(items) guarantees all sends unblock."""
+    ch = rt.make_chan(n_items, label="responses")
+    for index in range(n_items):
+        yield go(_query_backend, ch, index, payload_bytes)
+    first = yield recv(ch)
+    return first
+
+
+def leaks_per_call(n_items=5, **_ignored):
+    return max(0, n_items - 1)
+
+
+LEAKS_PER_CALL = leaks_per_call()

@@ -1,0 +1,54 @@
+"""Premature function return (paper Listing 1 / Listing 7, §VII-A1).
+
+A parent launches a child that sends a result on an unbuffered channel,
+then returns early on an error path without receiving.  The child blocks
+on its send forever.  The fix is the paper's: give the channel a buffer of
+one, making the send unconditionally non-blocking.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Payload, go, recv, send, sleep
+
+#: Heap bytes the child's pending message pins while leaked.
+DEFAULT_PAYLOAD = 32 * 1024
+
+
+def _get_discount(ch, payload_bytes):
+    """The child goroutine of Listing 1: computes and sends the discount."""
+    yield sleep(0.001)  # s.getDiscount(item)
+    yield send(ch, Payload("discount", payload_bytes))  # ch <- disc
+
+
+def leaky(rt, fail=True, payload_bytes=DEFAULT_PAYLOAD):
+    """``ComputeCost`` with the bug: on error, the sender child leaks."""
+    ch = rt.make_chan(0, label="discount")
+    yield go(_get_discount, ch, payload_bytes)
+    amount, err = yield from _get_base_cost(fail)
+    if err is not None:
+        return None, err  # premature return: nobody receives from ch
+    disc = yield recv(ch)
+    return (amount, disc), None
+
+
+def fixed(rt, fail=True, payload_bytes=DEFAULT_PAYLOAD):
+    """The paper's fix: a buffer of one unblocks the send unconditionally."""
+    ch = rt.make_chan(1, label="discount")
+    yield go(_get_discount, ch, payload_bytes)
+    amount, err = yield from _get_base_cost(fail)
+    if err is not None:
+        return None, err  # child still exits: its send cannot block
+    disc = yield recv(ch)
+    return (amount, disc), None
+
+
+def _get_base_cost(fail):
+    """``s.getBaseCost(item)``: fails when asked to."""
+    yield sleep(0.002)
+    if fail:
+        return None, "base cost unavailable"
+    return 100, None
+
+
+#: Leaked goroutines per invocation on the failure path.
+LEAKS_PER_CALL = 1

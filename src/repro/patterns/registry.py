@@ -1,0 +1,200 @@
+"""Registry of leak patterns with the paper's taxonomy metadata.
+
+Each :class:`Pattern` ties together a leaky workload, its fixed variant,
+the paper listing it reproduces, and the classification the paper assigns
+(§VI-A/B/C): blocking category (send/recv/select) and root cause.  The
+census benchmarks draw leak populations from this registry using the
+paper's measured mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from . import (
+    contract_violation,
+    double_send,
+    guaranteed,
+    ncast,
+    premature_return,
+    timeout_leak,
+    timer_loop,
+    unclosed_range,
+)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One leak pattern and its metadata."""
+
+    name: str
+    listing: str  # paper listing or section reference
+    category: str  # "send" | "recv" | "select" — the §VI grouping
+    cause: str  # root-cause label used in the paper's percentages
+    leaky: Callable  # generator function (rt, **params)
+    fixed: Optional[Callable]  # corrected variant, None if nonsensical
+    leaks_per_call: int  # leaked goroutines per leaky() invocation
+    description: str = ""
+
+
+PATTERNS: Dict[str, Pattern] = {
+    pattern.name: pattern
+    for pattern in (
+        Pattern(
+            name="premature_return",
+            listing="Listing 1 / Listing 7",
+            category="send",
+            cause="premature return",
+            leaky=premature_return.leaky,
+            fixed=premature_return.fixed,
+            leaks_per_call=premature_return.LEAKS_PER_CALL,
+            description="Parent returns on error path without receiving.",
+        ),
+        Pattern(
+            name="timeout_leak",
+            listing="Listing 8",
+            category="send",
+            cause="premature return",  # special case per §VII-A2
+            leaky=timeout_leak.leaky,
+            fixed=timeout_leak.fixed,
+            leaks_per_call=timeout_leak.LEAKS_PER_CALL,
+            description="ctx.Done wins the select; sender has no receiver.",
+        ),
+        Pattern(
+            name="ncast",
+            listing="Listing 9",
+            category="send",
+            cause="more sends than receives",
+            leaky=ncast.leaky,
+            fixed=ncast.fixed,
+            leaks_per_call=ncast.LEAKS_PER_CALL,
+            description="N senders, one receive: N-1 leak.",
+        ),
+        Pattern(
+            name="double_send",
+            listing="Listing 5",
+            category="send",
+            cause="double send",
+            leaky=double_send.leaky,
+            fixed=double_send.fixed,
+            leaks_per_call=double_send.LEAKS_PER_CALL,
+            description="Missing return after error send.",
+        ),
+        Pattern(
+            name="unclosed_range",
+            listing="Listing 3",
+            category="recv",
+            cause="range over unclosed channel",
+            leaky=unclosed_range.leaky,
+            fixed=unclosed_range.fixed,
+            leaks_per_call=unclosed_range.LEAKS_PER_CALL,
+            description="Consumers parked in range loops; close() missing.",
+        ),
+        Pattern(
+            name="timer_loop",
+            listing="Listing 4",
+            category="recv",
+            cause="non-terminating timer",
+            leaky=timer_loop.leaky,
+            fixed=timer_loop.fixed,
+            leaks_per_call=timer_loop.LEAKS_PER_CALL,
+            description="Infinite <-time.After loop with no escape hatch.",
+        ),
+        Pattern(
+            name="contract_violation",
+            listing="Listing 6",
+            category="select",
+            cause="method contract violation",
+            leaky=contract_violation.leaky,
+            fixed=contract_violation.fixed,
+            leaks_per_call=contract_violation.LEAKS_PER_CALL,
+            description="Start without Stop leaks the listener select.",
+        ),
+        Pattern(
+            name="contract_violation_context",
+            listing="Listing 6 (context variant)",
+            category="select",
+            cause="method contract violation",
+            leaky=contract_violation.leaky_context_variant,
+            fixed=contract_violation.fixed_context_variant,
+            leaks_per_call=contract_violation.LEAKS_PER_CALL,
+            description="Cancellable context never canceled.",
+        ),
+        Pattern(
+            name="nil_recv",
+            listing="§VI-D",
+            category="recv",
+            cause="nil channel",
+            leaky=guaranteed.leaky_nil_recv,
+            fixed=None,
+            leaks_per_call=1,
+            description="Receive on nil channel: guaranteed deadlock.",
+        ),
+        Pattern(
+            name="nil_send",
+            listing="§VI-D",
+            category="send",
+            cause="nil channel",
+            leaky=guaranteed.leaky_nil_send,
+            fixed=None,
+            leaks_per_call=1,
+            description="Send on nil channel: guaranteed deadlock.",
+        ),
+        Pattern(
+            name="empty_select",
+            listing="§VI-C / §VI-D",
+            category="select",
+            cause="select with no cases",
+            leaky=guaranteed.leaky_empty_select,
+            fixed=None,
+            leaks_per_call=1,
+            description="select{} blocks unconditionally.",
+        ),
+    )
+}
+
+
+def get(name: str) -> Pattern:
+    """Look up a pattern; raises KeyError with the available names."""
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pattern {name!r}; available: {sorted(PATTERNS)}"
+        ) from None
+
+
+def by_category(category: str) -> Tuple[Pattern, ...]:
+    """All patterns in one of the paper's blocking categories."""
+    return tuple(p for p in PATTERNS.values() if p.category == category)
+
+
+#: The paper's §VI leak-cause mix, as (pattern name, weight) per category.
+#: Receive leaks: 44% timers, 42% unclosed ranges, 14% other.
+#: Send leaks: 57% premature receiver return, 11% API misuse, 29% complex
+#: state machines, 3% double send.  Select: 86.16% contract violations,
+#: 7.7% infinite loops without escape, 6.16% empty selects.
+PAPER_CAUSE_MIX = {
+    "recv": (
+        ("timer_loop", 0.44),
+        ("unclosed_range", 0.42),
+        ("nil_recv", 0.14),
+    ),
+    "send": (
+        ("premature_return", 0.57),
+        ("timeout_leak", 0.11),
+        ("ncast", 0.29),
+        ("double_send", 0.03),
+    ),
+    "select": (
+        ("contract_violation", 0.5847),
+        ("contract_violation_context", 0.1693),
+        ("empty_select", 0.0616),
+        ("contract_violation", 0.1844),  # "select outside for" folded in
+    ),
+}
+
+#: Table IV headline shares: select 51%, recv 32%, send ~1.73% of
+#: lingering goroutines (the remainder are non-channel runaways).
+PAPER_CATEGORY_SHARES = {"select": 0.51, "recv": 0.32, "send": 0.0173}

@@ -1,0 +1,49 @@
+"""The timeout leak (paper Listing 8, §VII-A2).
+
+A handler races a worker's send against context cancellation.  When the
+context fires first, the handler returns and the worker blocks forever on
+its send.  The paper calls this the most ubiquitous production pattern
+(5 of 33 LeakProf reports).  Fix: capacity-1 channel.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Payload, case_recv, go, select, send, sleep
+from repro.runtime import context as goctx
+
+DEFAULT_PAYLOAD = 64 * 1024
+
+
+def _fetch_item(ch, work_seconds, payload_bytes):
+    """The worker: produce an item, then send it to the handler."""
+    yield sleep(work_seconds)
+    yield send(ch, Payload("item", payload_bytes))
+
+
+def leaky(rt, ctx=None, timeout=0.05, work_seconds=0.2,
+          payload_bytes=DEFAULT_PAYLOAD):
+    """``Handler`` with the bug: unbuffered channel + ctx-done early return."""
+    if ctx is None:
+        ctx, _ = goctx.with_timeout(goctx.background(rt), timeout)
+    ch = rt.make_chan(0, label="item")
+    yield go(_fetch_item, ch, work_seconds, payload_bytes)
+    index, value = yield select(case_recv(ch), case_recv(ctx.done()))
+    if index == 1:
+        return None  # timed out; the worker will leak on its send
+    return value
+
+
+def fixed(rt, ctx=None, timeout=0.05, work_seconds=0.2,
+          payload_bytes=DEFAULT_PAYLOAD):
+    """The paper's fix: make the channel non-blocking with capacity one."""
+    if ctx is None:
+        ctx, _ = goctx.with_timeout(goctx.background(rt), timeout)
+    ch = rt.make_chan(1, label="item")
+    yield go(_fetch_item, ch, work_seconds, payload_bytes)
+    index, value = yield select(case_recv(ch), case_recv(ctx.done()))
+    if index == 1:
+        return None  # worker's buffered send succeeds; it exits cleanly
+    return value
+
+
+LEAKS_PER_CALL = 1  # on the timeout path

@@ -1,0 +1,48 @@
+"""Infinite receive loops with timers (paper Listing 4, §VI-A2).
+
+``statsReporter`` launches a goroutine that loops forever on
+``<-time.After(period)``.  Not a strict partial deadlock — it wakes
+periodically — but an unbounded, unstoppable goroutine: 44% of the
+channel-receive leaks goleak found.  It also burns CPU on every wakeup,
+which is the mechanism behind the paper's Fig 2.
+
+Fix: a select with a done-channel escape hatch plus a stop function.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import burn, case_recv, go, recv, select
+
+#: CPU seconds burned per reporting wakeup (drives the Fig 2 model).
+REPORT_CPU_SECONDS = 0.004
+
+
+def _report_loop(rt, period):
+    while True:
+        yield recv(rt.after(period))  # <-time.After(reporterPeriod)
+        yield burn(REPORT_CPU_SECONDS)  # LogMetric()
+
+
+def leaky(rt, period=1.0):
+    """Launch the unstoppable reporter; returns immediately (fire & forget)."""
+    yield go(_report_loop, rt, period)
+
+
+def _report_loop_stoppable(rt, period, done):
+    while True:
+        index, _ = yield select(
+            case_recv(rt.after(period)), case_recv(done)
+        )
+        if index == 1:
+            return  # shut down
+        yield burn(REPORT_CPU_SECONDS)
+
+
+def fixed(rt, period=1.0):
+    """The fix: returns a ``stop`` closure bounding the reporter's lifetime."""
+    done = rt.make_chan(0, label="reporter.done")
+    yield go(_report_loop_stoppable, rt, period, done)
+    return done.close  # caller invokes stop() when finished
+
+
+LEAKS_PER_CALL = 1

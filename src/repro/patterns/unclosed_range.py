@@ -1,0 +1,50 @@
+"""Loop iteration over unclosed channels (paper Listing 3, §VI-A1).
+
+A producer feeds ``workers`` consumers through a shared channel; once the
+items run out the consumers stay parked in their range loops because
+nobody calls ``close(ch)``.  42% of the paper's channel-receive leaks.
+Fix: close the channel after the last send.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import chan_range, go, send, sleep
+
+
+def _consume(ch, results):
+    """One consumer: range over the channel, recording items."""
+    yield from chan_range(ch, results.append)
+
+
+def leaky(rt, items=(1, 2, 3, 4, 5), workers=3):
+    """Producer/consumer with the missing ``close``: consumers leak."""
+    ch = rt.make_chan(0, label="work-items")
+    results = []
+
+    for _ in range(workers):
+        yield go(_consume, ch, results)
+    for item in items:
+        yield send(ch, item)
+    # missing ch.close(): every consumer blocks in its range loop forever
+    return results
+
+
+def fixed(rt, items=(1, 2, 3, 4, 5), workers=3):
+    """The fix: close the channel so range loops terminate."""
+    ch = rt.make_chan(0, label="work-items")
+    results = []
+
+    for _ in range(workers):
+        yield go(_consume, ch, results)
+    for item in items:
+        yield send(ch, item)
+    ch.close()
+    yield sleep(0.01)  # let consumers drain and exit
+    return results
+
+
+def leaks_per_call(workers=3, **_ignored):
+    return workers
+
+
+LEAKS_PER_CALL = leaks_per_call()

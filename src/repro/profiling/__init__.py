@@ -1,0 +1,18 @@
+"""pprof analog: goroutine profiles and their text serialization."""
+
+from .profile import (
+    GoroutineProfile,
+    GoroutineRecord,
+    runtime_frames_for,
+    snapshot_goroutine,
+)
+from .pprof import dump_text, parse_text
+
+__all__ = [
+    "GoroutineProfile",
+    "GoroutineRecord",
+    "dump_text",
+    "parse_text",
+    "runtime_frames_for",
+    "snapshot_goroutine",
+]

@@ -1,0 +1,139 @@
+"""Text serialization of goroutine profiles (``pprof -goroutine debug=2`` analog).
+
+LeakProf in the paper fetches profile *files* over the network from every
+instance; the fleet simulator does the same with this format, and tests
+assert a lossless round-trip for the fields the detector consumes.
+
+Format (one stanza per goroutine)::
+
+    goroutine 7 [chan send, 121s]:
+    runtime.gopark()
+        runtime/proc.go:0
+    runtime.chansend()
+        runtime/proc.go:0
+    server.ComputeCost$1()
+        transactions/cost.go:8
+    created by server.ComputeCost
+        transactions/cost.go:6
+
+with a header line ``goroutine profile: total N  process=P time=T``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.runtime.goroutine import GoroutineState
+from repro.runtime.stack import Frame
+
+from .profile import GoroutineProfile, GoroutineRecord, runtime_frames_for
+
+_HEADER_RE = re.compile(
+    r"^goroutine profile: total (?P<total>\d+)"
+    r"\s+process=(?P<process>\S+)\s+time=(?P<time>[\d.eE+-]+)"
+    r"(?:\s+service=(?P<service>\S+))?(?:\s+instance=(?P<instance>\S+))?$"
+)
+_STANZA_RE = re.compile(
+    r"^goroutine (?P<gid>\d+) \[(?P<state>[^,\]]+)"
+    r"(?:, (?P<wait>[\d.eE+-]+)s)?"
+    r"(?:, (?P<detail>[^\]]+))?\]"
+    r"(?: name=(?P<name>\S+))?:$"
+)
+
+_STATE_BY_VALUE = {state.value: state for state in GoroutineState}
+
+
+def dump_text(profile: GoroutineProfile) -> str:
+    """Serialize ``profile`` to the text format above."""
+    lines = [
+        "goroutine profile: total "
+        f"{len(profile.records)}  process={profile.process} "
+        f"time={profile.taken_at!r}"
+        + (f" service={profile.service}" if profile.service else "")
+        + (f" instance={profile.instance}" if profile.instance else "")
+    ]
+    for record in profile.records:
+        header = f"goroutine {record.gid} [{record.state.value}"
+        if record.wait_seconds:
+            header += f", {record.wait_seconds!r}s"
+        if record.wait_detail is not None:
+            header += f", {record.wait_detail}"
+        header += f"] name={record.name}:"
+        lines.append(header)
+        for frame in record.frames:
+            lines.append(f"{frame.function}()")
+            lines.append(f"\t{frame.file}:{frame.line}")
+        if record.creation_ctx is not None:
+            ctx = record.creation_ctx
+            lines.append(f"created by {ctx.function}")
+            lines.append(f"\t{ctx.file}:{ctx.line}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _parse_frames(
+    body: List[str],
+) -> Tuple[Tuple[Frame, ...], Optional[Frame]]:
+    frames: List[Frame] = []
+    creation: Optional[Frame] = None
+    i = 0
+    while i < len(body):
+        line = body[i]
+        if line.startswith("created by "):
+            function = line[len("created by "):]
+            file, _, lineno = body[i + 1].strip().rpartition(":")
+            creation = Frame(function, file, int(lineno))
+            i += 2
+            continue
+        function = line[:-2] if line.endswith("()") else line
+        file, _, lineno = body[i + 1].strip().rpartition(":")
+        frames.append(Frame(function, file, int(lineno)))
+        i += 2
+    return tuple(frames), creation
+
+
+def parse_text(text: str) -> GoroutineProfile:
+    """Parse text produced by :func:`dump_text` back into a profile."""
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty profile text")
+    header = _HEADER_RE.match(lines[0])
+    if header is None:
+        raise ValueError(f"bad profile header: {lines[0]!r}")
+    profile = GoroutineProfile(
+        taken_at=float(header.group("time")),
+        process=header.group("process"),
+        service=header.group("service"),
+        instance=header.group("instance"),
+    )
+    i = 1
+    while i < len(lines):
+        line = lines[i]
+        if not line.strip():
+            i += 1
+            continue
+        stanza = _STANZA_RE.match(line)
+        if stanza is None:
+            raise ValueError(f"bad goroutine stanza: {line!r}")
+        body: List[str] = []
+        i += 1
+        while i < len(lines) and lines[i].strip():
+            body.append(lines[i])
+            i += 1
+        frames, creation = _parse_frames(body)
+        state = _STATE_BY_VALUE[stanza.group("state")]
+        # Strip the synthetic runtime frames that dump_text prepended.
+        synthetic = len(runtime_frames_for(state))
+        profile.records.append(
+            GoroutineRecord(
+                gid=int(stanza.group("gid")),
+                name=stanza.group("name") or "?",
+                state=state,
+                user_frames=frames[synthetic:],
+                creation_ctx=creation,
+                wait_seconds=float(stanza.group("wait") or 0.0),
+                wait_detail=stanza.group("detail"),
+            )
+        )
+    return profile

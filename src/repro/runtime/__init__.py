@@ -1,0 +1,118 @@
+"""A deterministic Go-like CSP runtime: the paper's substrate, in Python.
+
+Public surface::
+
+    from repro.runtime import (
+        Runtime, Channel, Payload, NIL_CHANNEL,
+        go, send, recv, recv_ok, select, case_recv, case_send, DEFAULT_CASE,
+        sleep, park, alloc, free, burn, gosched, chan_range,
+        WaitGroup, Mutex, Semaphore, Cond, Once,
+        GoroutineState, Frame,
+        errors, context, gotime,
+    )
+
+Goroutine bodies are generator functions yielding these effects; see
+:mod:`repro.runtime.ops` for the full catalog and DESIGN.md §5 for why
+generators (not asyncio) are the right substrate for this reproduction.
+"""
+
+from . import context, errors, gotime
+from .channel import Channel, NIL_CHANNEL, NilChannel, Payload
+from .errors import (
+    CloseOfClosedChannel,
+    CloseOfNilChannel,
+    GlobalDeadlock,
+    Panic,
+    SchedulerExhausted,
+    SendOnClosedChannel,
+)
+from .goroutine import (
+    BLOCKED_STATES,
+    CHANNEL_BLOCKED_STATES,
+    DEFAULT_STACK_BYTES,
+    Goroutine,
+    GoroutineState,
+)
+from .ops import (
+    DEFAULT_CASE,
+    GoOp,
+    RecvCase,
+    RecvOp,
+    SelectOp,
+    SendCase,
+    SendOp,
+    alloc,
+    burn,
+    case_recv,
+    case_recv_ok,
+    case_send,
+    chan_range,
+    free,
+    go,
+    gosched,
+    park,
+    recv,
+    recv_ok,
+    select,
+    send,
+    sleep,
+)
+from .scheduler import DEFAULT_BASE_RSS, Runtime, Ticker
+from .stack import Frame, capture_stack
+from .sync import Cond, Mutex, Once, Semaphore, WaitGroup
+from .wrappers import ErrGroup, safe_go
+
+__all__ = [
+    "BLOCKED_STATES",
+    "CHANNEL_BLOCKED_STATES",
+    "Channel",
+    "CloseOfClosedChannel",
+    "CloseOfNilChannel",
+    "Cond",
+    "DEFAULT_BASE_RSS",
+    "DEFAULT_CASE",
+    "DEFAULT_STACK_BYTES",
+    "ErrGroup",
+    "Frame",
+    "GlobalDeadlock",
+    "GoOp",
+    "Goroutine",
+    "GoroutineState",
+    "Mutex",
+    "NIL_CHANNEL",
+    "NilChannel",
+    "Once",
+    "Panic",
+    "Payload",
+    "RecvCase",
+    "RecvOp",
+    "Runtime",
+    "SchedulerExhausted",
+    "SelectOp",
+    "Semaphore",
+    "SendCase",
+    "SendOnClosedChannel",
+    "SendOp",
+    "Ticker",
+    "WaitGroup",
+    "alloc",
+    "burn",
+    "capture_stack",
+    "case_recv",
+    "case_recv_ok",
+    "case_send",
+    "chan_range",
+    "context",
+    "errors",
+    "free",
+    "go",
+    "gosched",
+    "gotime",
+    "park",
+    "recv",
+    "recv_ok",
+    "safe_go",
+    "select",
+    "send",
+    "sleep",
+]

@@ -1,0 +1,359 @@
+"""Go channels: unbuffered rendezvous, buffered queues, close, nil channels.
+
+Semantics follow the Go memory model:
+
+* Unbuffered send blocks until a receiver is ready (and vice versa).
+* Buffered send blocks only when the buffer is full; receive blocks only
+  when the buffer is empty and no sender is parked.
+* ``close`` wakes every parked receiver with the zero value and ``ok=False``
+  and *panics* every parked sender (``send on closed channel``), exactly as
+  the Go runtime does.
+* Send/receive on a nil channel blocks forever; a select arm on a nil
+  channel is never ready.
+
+Memory accounting: values wrapped in :class:`Payload` carry a byte size that
+is charged to the channel while buffered and to the receiving goroutine's
+retained heap once delivered (freed when that goroutine exits).  This is the
+mechanism by which a leaked goroutine pins heap, per the paper's Section II.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional, Tuple, TYPE_CHECKING
+
+from .errors import CloseOfClosedChannel, CloseOfNilChannel, SendOnClosedChannel
+from .goroutine import Goroutine, GoroutineState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Runtime
+
+_chan_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Payload:
+    """A channel value annotated with a heap size for RSS modeling."""
+
+    value: Any
+    nbytes: int = 0
+
+
+def payload_bytes(value: Any) -> int:
+    """Heap bytes attributed to ``value`` (0 unless it is a Payload)."""
+    return value.nbytes if isinstance(value, Payload) else 0
+
+
+class SelectTicket:
+    """Shared completion token for all waiters of one select statement.
+
+    When any arm of a select fires, its ticket is marked done; stale
+    waiters left enqueued on sibling channels are skipped and garbage-
+    collected lazily on the next queue scan (the standard "dequeue and
+    discard" scheme Go's runtime uses for select).
+    """
+
+    __slots__ = ("done",)
+
+    def __init__(self) -> None:
+        self.done = False
+
+
+class Waiter:
+    """A goroutine parked on one channel operation (possibly a select arm)."""
+
+    __slots__ = ("goro", "value", "want_ok", "ticket", "case_index")
+
+    def __init__(
+        self,
+        goro: Goroutine,
+        value: Any = None,
+        want_ok: bool = False,
+        ticket: Optional[SelectTicket] = None,
+        case_index: int = 0,
+    ):
+        self.goro = goro
+        self.value = value
+        self.want_ok = want_ok
+        self.ticket = ticket
+        self.case_index = case_index
+
+    @property
+    def stale(self) -> bool:
+        return self.ticket is not None and self.ticket.done
+
+    def complete(self) -> bool:
+        """Claim this waiter; returns False if a sibling arm already fired."""
+        if self.ticket is None:
+            return True
+        if self.ticket.done:
+            return False
+        self.ticket.done = True
+        return True
+
+    def resume_value(self, received: Any, ok: bool) -> Any:
+        """Shape the wakeup value the way the parked op expects it."""
+        value = received.value if isinstance(received, Payload) else received
+        if self.ticket is not None:
+            # Select arm: resume with (case_index, case_value).
+            if self.want_ok:
+                return (self.case_index, (value, ok))
+            return (self.case_index, value)
+        if self.want_ok:
+            return (value, ok)
+        return value
+
+
+class Channel:
+    """A Go channel of a given ``capacity`` (0 = unbuffered)."""
+
+    __slots__ = (
+        "cid",
+        "capacity",
+        "label",
+        "buffer",
+        "send_waiters",
+        "recv_waiters",
+        "closed",
+        "alloc_site",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 0,
+        label: Optional[str] = None,
+        alloc_site: Optional[str] = None,
+    ):
+        if capacity < 0:
+            raise ValueError("negative channel capacity")
+        self.cid = next(_chan_ids)
+        self.capacity = capacity
+        self.label = label or f"chan#{self.cid}"
+        self.buffer: Deque[Any] = deque()
+        self.send_waiters: Deque[Waiter] = deque()
+        self.recv_waiters: Deque[Waiter] = deque()
+        self.closed = False
+        self.alloc_site = alloc_site
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def is_nil(self) -> bool:
+        return False
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Heap bytes pinned by values sitting in the buffer."""
+        return sum(payload_bytes(v) for v in self.buffer)
+
+    @property
+    def pending_send_bytes(self) -> int:
+        """Heap bytes pinned by parked senders' undelivered values.
+
+        This is the memory-leak mechanism of the paper's Listing 1: a
+        sender blocked forever keeps its message (and everything reachable
+        from it) live.
+        """
+        return sum(
+            payload_bytes(w.value) for w in self.send_waiters if not w.stale
+        )
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def _pop_recv_waiter(self) -> Optional[Waiter]:
+        while self.recv_waiters:
+            waiter = self.recv_waiters.popleft()
+            if not waiter.stale:
+                return waiter
+        return None
+
+    def _pop_send_waiter(self) -> Optional[Waiter]:
+        while self.send_waiters:
+            waiter = self.send_waiters.popleft()
+            if not waiter.stale:
+                return waiter
+        return None
+
+    def _peek_recv_waiter(self) -> Optional[Waiter]:
+        for waiter in self.recv_waiters:
+            if not waiter.stale:
+                return waiter
+        return None
+
+    def _peek_send_waiter(self) -> Optional[Waiter]:
+        for waiter in self.send_waiters:
+            if not waiter.stale:
+                return waiter
+        return None
+
+    def send_ready(self) -> bool:
+        """Would a send complete without blocking right now?
+
+        Note: a send on a *closed* channel is "ready" in select semantics —
+        it proceeds immediately, by panicking.
+        """
+        if self.closed:
+            return True
+        if self._peek_recv_waiter() is not None:
+            return True
+        return len(self.buffer) < self.capacity
+
+    def recv_ready(self) -> bool:
+        """Would a receive complete without blocking right now?"""
+        if self.buffer:
+            return True
+        if self._peek_send_waiter() is not None:
+            return True
+        return self.closed
+
+    # -- operations (invoked by the scheduler) -------------------------------
+
+    def try_send(self, value: Any) -> bool:
+        """Attempt a non-blocking send; True on success.
+
+        Raises :class:`SendOnClosedChannel` if the channel is closed.
+        """
+        if self.closed:
+            raise SendOnClosedChannel()
+        receiver = self._pop_recv_waiter()
+        while receiver is not None:
+            if receiver.complete():
+                self._deliver(receiver, value, ok=True)
+                return True
+            receiver = self._pop_recv_waiter()
+        if len(self.buffer) < self.capacity:
+            self.buffer.append(value)
+            return True
+        return False
+
+    def try_recv(self) -> Tuple[bool, Any, bool]:
+        """Attempt a non-blocking receive.
+
+        Returns ``(completed, value, ok)``.  ``ok`` is False only when the
+        channel is closed and drained (Go's zero-value receive).
+        """
+        if self.buffer:
+            value = self.buffer.popleft()
+            # A parked sender can now move its value into the freed slot.
+            sender = self._pop_send_waiter()
+            while sender is not None:
+                if sender.complete():
+                    self.buffer.append(sender.value)
+                    self._wake_sender(sender)
+                    break
+                sender = self._pop_send_waiter()
+            return True, value, True
+        sender = self._pop_send_waiter()
+        while sender is not None:
+            if sender.complete():
+                value = sender.value
+                self._wake_sender(sender)
+                return True, value, True
+            sender = self._pop_send_waiter()
+        if self.closed:
+            return True, None, False
+        return False, None, False
+
+    def park_sender(self, waiter: Waiter) -> None:
+        self.send_waiters.append(waiter)
+
+    def park_receiver(self, waiter: Waiter) -> None:
+        self.recv_waiters.append(waiter)
+
+    def close(self) -> None:
+        """Close the channel, waking receivers and panicking parked senders."""
+        if self.closed:
+            raise CloseOfClosedChannel()
+        self.closed = True
+        while self.recv_waiters:
+            waiter = self.recv_waiters.popleft()
+            if waiter.stale or not waiter.complete():
+                continue
+            self._deliver(waiter, None, ok=False)
+        while self.send_waiters:
+            waiter = self.send_waiters.popleft()
+            if waiter.stale or not waiter.complete():
+                continue
+            waiter.goro.throw(SendOnClosedChannel())
+
+    # -- wakeup plumbing ------------------------------------------------------
+
+    def _deliver(self, waiter: Waiter, value: Any, ok: bool) -> None:
+        """Hand ``value`` to a parked receiver and make it runnable.
+
+        Delivered values are assumed to be processed and released promptly
+        by healthy receivers; heap pinned by *leaked* goroutines is modeled
+        explicitly via ``alloc`` and by :attr:`pending_send_bytes`.
+        """
+        waiter.goro.make_runnable(waiter.resume_value(value, ok))
+
+    def _wake_sender(self, waiter: Waiter) -> None:
+        if waiter.ticket is not None:
+            waiter.goro.make_runnable((waiter.case_index, None))
+        else:
+            waiter.goro.make_runnable(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        return (
+            f"<Channel {self.label} cap={self.capacity} len={len(self.buffer)}"
+            f" {state} sendq={len(self.send_waiters)} recvq={len(self.recv_waiters)}>"
+        )
+
+
+class NilChannel:
+    """The nil channel: every operation blocks forever, close panics.
+
+    A shared singleton is exposed as :data:`NIL_CHANNEL`; comparing against
+    it mirrors ``ch == nil`` checks in Go code.
+    """
+
+    __slots__ = ()
+
+    cid = 0
+    label = "nil"
+    capacity = 0
+    closed = False
+
+    @property
+    def is_nil(self) -> bool:
+        return True
+
+    @property
+    def buffered_bytes(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def send_ready(self) -> bool:
+        return False
+
+    def recv_ready(self) -> bool:
+        return False
+
+    def try_send(self, value: Any) -> bool:
+        return False
+
+    def try_recv(self) -> Tuple[bool, Any, bool]:
+        return False, None, False
+
+    def park_sender(self, waiter: Waiter) -> None:
+        """Parked forever; the waiter is intentionally dropped."""
+
+    def park_receiver(self, waiter: Waiter) -> None:
+        """Parked forever; the waiter is intentionally dropped."""
+
+    def close(self) -> None:
+        raise CloseOfNilChannel()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Channel nil>"
+
+
+#: The canonical nil channel.
+NIL_CHANNEL = NilChannel()

@@ -1,0 +1,103 @@
+"""``context`` package analog: cancellation and deadlines across goroutines.
+
+Contexts carry a ``done`` channel that is closed on cancellation; goroutines
+listen on ``ctx.done()`` in select statements, exactly like Go.  Misuse of
+these contracts (caller never cancels, callee returns early on
+``ctx.Done()`` and abandons a sender) produces the paper's "timeout leak"
+(§VII-A2) and the context variant of the method-contract-violation pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+
+from .channel import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Runtime
+
+#: Sentinel errors mirroring context.Canceled / context.DeadlineExceeded.
+CANCELED = "context canceled"
+DEADLINE_EXCEEDED = "context deadline exceeded"
+
+
+class Context:
+    """A cancellation context with a Done channel.
+
+    ``background`` contexts have a nil-like never-closing done channel
+    (we use a real channel that is simply never closed: its select arms
+    are never ready, which is all that matters).
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        parent: Optional["Context"] = None,
+        label: str = "context",
+    ):
+        self._runtime = runtime
+        self._parent = parent
+        self._done = runtime.make_chan(0, label=f"{label}.Done")
+        self._err: Optional[str] = None
+        self._children: List["Context"] = []
+        if parent is not None:
+            parent._children.append(self)
+
+    def done(self) -> Channel:
+        """The channel closed when this context is canceled."""
+        return self._done
+
+    def err(self) -> Optional[str]:
+        """``context.Canceled``/``DeadlineExceeded`` once done, else None."""
+        return self._err
+
+    @property
+    def canceled(self) -> bool:
+        return self._err is not None
+
+    def _cancel(self, err: str) -> None:
+        if self._err is not None:
+            return
+        self._err = err
+        self._done.close()
+        for child in self._children:
+            child._cancel(err)
+
+
+def background(runtime: "Runtime") -> Context:
+    """``context.Background()`` — never canceled."""
+    return Context(runtime, label="context.Background")
+
+
+def with_cancel(ctx: Context) -> Tuple[Context, Callable[[], None]]:
+    """``context.WithCancel(parent)`` → (child, cancel)."""
+    child = Context(ctx._runtime, parent=ctx, label="context.WithCancel")
+
+    def cancel() -> None:
+        child._cancel(CANCELED)
+
+    return child, cancel
+
+
+def with_timeout(ctx: Context, timeout: float) -> Tuple[Context, Callable[[], None]]:
+    """``context.WithTimeout(parent, d)`` → (child, cancel).
+
+    The child is canceled with DEADLINE_EXCEEDED after ``timeout`` virtual
+    seconds unless ``cancel`` runs first.
+    """
+    child = Context(ctx._runtime, parent=ctx, label="context.WithTimeout")
+    timer = ctx._runtime.call_later(
+        timeout, lambda: child._cancel(DEADLINE_EXCEEDED)
+    )
+
+    def cancel() -> None:
+        timer.cancel()
+        child._cancel(CANCELED)
+
+    return child, cancel
+
+
+def with_deadline(ctx: Context, deadline: float) -> Tuple[Context, Callable[[], None]]:
+    """``context.WithDeadline(parent, t)`` — absolute-time variant."""
+    remaining = max(0.0, deadline - ctx._runtime.now)
+    return with_timeout(ctx, remaining)

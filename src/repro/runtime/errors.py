@@ -1,0 +1,71 @@
+"""Runtime error types mirroring Go's runtime panics and fatal errors.
+
+Go distinguishes between *panics* (recoverable per-goroutine faults, e.g.
+sending on a closed channel) and *fatal runtime errors* (e.g. the famous
+``fatal error: all goroutines are asleep - deadlock!``).  The simulated
+runtime mirrors both so that workload programs written against it fail in
+the same situations real Go programs would.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeError_(Exception):
+    """Base class for all simulated-runtime errors."""
+
+
+class Panic(RuntimeError_):
+    """A Go panic raised inside a goroutine.
+
+    Like Go, an un-recovered panic in any goroutine is considered fatal to
+    the whole program: the scheduler re-raises it from :meth:`Runtime.run`
+    unless the runtime was built with ``panic_mode="record"``.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class SendOnClosedChannel(Panic):
+    """Panic raised when sending on a closed channel (``send on closed channel``)."""
+
+    def __init__(self) -> None:
+        super().__init__("send on closed channel")
+
+
+class CloseOfClosedChannel(Panic):
+    """Panic raised when closing an already-closed channel."""
+
+    def __init__(self) -> None:
+        super().__init__("close of closed channel")
+
+
+class CloseOfNilChannel(Panic):
+    """Panic raised when closing a nil channel."""
+
+    def __init__(self) -> None:
+        super().__init__("close of nil channel")
+
+
+class GlobalDeadlock(RuntimeError_):
+    """All goroutines are blocked and no timer can unblock them.
+
+    Mirrors Go's ``fatal error: all goroutines are asleep - deadlock!``.
+    A *partial* deadlock (the paper's subject) is NOT this error: there the
+    main goroutine finishes while children stay blocked forever.
+    """
+
+    def __init__(self, blocked_count: int):
+        super().__init__(
+            f"all goroutines are asleep - deadlock! ({blocked_count} blocked)"
+        )
+        self.blocked_count = blocked_count
+
+
+class SchedulerExhausted(RuntimeError_):
+    """The scheduler hit its ``max_steps`` budget before quiescing."""
+
+    def __init__(self, steps: int):
+        super().__init__(f"scheduler exhausted after {steps} steps")
+        self.steps = steps

@@ -1,0 +1,191 @@
+"""The goroutine record: scheduling state, stacks, and memory accounting."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+from .stack import Frame, capture_stack
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import Runtime
+
+
+class GoroutineState(enum.Enum):
+    """Scheduling states, matching the wait reasons in the paper's Table IV."""
+
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED_SEND = "chan send"
+    BLOCKED_RECV = "chan receive"
+    BLOCKED_SELECT = "select"
+    SLEEPING = "sleep"
+    IO_WAIT = "io_wait"
+    SYSCALL = "syscall"
+    SEMACQUIRE = "semacquire"
+    COND_WAIT = "cond_wait"
+    DONE = "done"
+    PANICKED = "panicked"
+
+
+#: States in which a goroutine is parked and cannot run until woken.
+BLOCKED_STATES = frozenset(
+    {
+        GoroutineState.BLOCKED_SEND,
+        GoroutineState.BLOCKED_RECV,
+        GoroutineState.BLOCKED_SELECT,
+        GoroutineState.SLEEPING,
+        GoroutineState.IO_WAIT,
+        GoroutineState.SYSCALL,
+        GoroutineState.SEMACQUIRE,
+        GoroutineState.COND_WAIT,
+    }
+)
+
+#: Blocked states that a timer is guaranteed to eventually exit.
+_TIMED_STATES = frozenset({GoroutineState.SLEEPING})
+
+#: Channel-blocked states (candidate partial deadlocks).
+CHANNEL_BLOCKED_STATES = frozenset(
+    {
+        GoroutineState.BLOCKED_SEND,
+        GoroutineState.BLOCKED_RECV,
+        GoroutineState.BLOCKED_SELECT,
+    }
+)
+
+#: Default goroutine stack size in bytes (Go starts goroutines at 8 KiB;
+#: 2 KiB initially in modern Go, but 8 KiB is the paper-era steady state).
+DEFAULT_STACK_BYTES = 8 * 1024
+
+
+class Goroutine:
+    """A single goroutine: a generator plus scheduler metadata.
+
+    Attributes mirror what Go's runtime tracks per ``g``: status, the wait
+    reason, where it blocked, where it was created, and — for the paper's
+    memory-leak accounting — the stack and heap bytes it pins while alive.
+    """
+
+    __slots__ = (
+        "gid",
+        "name",
+        "gen",
+        "state",
+        "runtime",
+        "created_at",
+        "creation_ctx",
+        "blocked_since",
+        "waiting_on",
+        "pending_value",
+        "pending_exception",
+        "stack_bytes",
+        "retained_bytes",
+        "result",
+        "panic",
+        "is_main",
+        "_cached_stack",
+    )
+
+    def __init__(
+        self,
+        gid: int,
+        gen: Any,
+        runtime: "Runtime",
+        name: str,
+        created_at: float,
+        creation_ctx: Optional[Frame],
+        stack_bytes: int = DEFAULT_STACK_BYTES,
+        is_main: bool = False,
+    ):
+        self.gid = gid
+        self.name = name
+        self.gen = gen
+        self.runtime = runtime
+        self.state = GoroutineState.RUNNABLE
+        self.created_at = created_at
+        self.creation_ctx = creation_ctx
+        self.blocked_since: Optional[float] = None
+        #: The channel(s) this goroutine is parked on, if any.
+        self.waiting_on: Any = None
+        #: Value injected into the generator on next resume.
+        self.pending_value: Any = None
+        #: Exception thrown into the generator on next resume (panics).
+        self.pending_exception: Optional[BaseException] = None
+        self.stack_bytes = stack_bytes
+        self.retained_bytes = 0
+        self.result: Any = None
+        self.panic: Optional[BaseException] = None
+        self.is_main = is_main
+        self._cached_stack: Optional[Tuple[Frame, ...]] = None
+
+    # -- scheduling helpers -------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the goroutine occupies the process address space."""
+        return self.state not in (GoroutineState.DONE, GoroutineState.PANICKED)
+
+    @property
+    def blocked(self) -> bool:
+        return self.state in BLOCKED_STATES
+
+    @property
+    def channel_blocked(self) -> bool:
+        return self.state in CHANNEL_BLOCKED_STATES
+
+    def block(self, state: GoroutineState, waiting_on: Any = None) -> None:
+        """Park the goroutine; records when and on what it blocked."""
+        self.state = state
+        self.waiting_on = waiting_on
+        self.blocked_since = self.runtime.now
+        self._cached_stack = capture_stack(self.gen)
+
+    def make_runnable(self, value: Any = None) -> None:
+        """Wake the goroutine with ``value`` as the result of its last op."""
+        self.state = GoroutineState.RUNNABLE
+        self.waiting_on = None
+        self.blocked_since = None
+        self.pending_value = value
+        self._cached_stack = None
+        self.runtime._enqueue(self)
+
+    def throw(self, exc: BaseException) -> None:
+        """Wake the goroutine by throwing ``exc`` at its suspension point."""
+        self.state = GoroutineState.RUNNABLE
+        self.waiting_on = None
+        self.blocked_since = None
+        self.pending_exception = exc
+        self._cached_stack = None
+        self.runtime._enqueue(self)
+
+    # -- introspection (what goleak/leakprof consume) -----------------------
+
+    def stack(self) -> Tuple[Frame, ...]:
+        """Current call stack, leaf first.
+
+        For a blocked goroutine the stack is captured at block time (a
+        suspended generator chain is stable, but caching mirrors how Go's
+        profiler snapshots parked goroutines cheaply).
+        """
+        if self._cached_stack is not None:
+            return self._cached_stack
+        return capture_stack(self.gen)
+
+    def blocking_frame(self) -> Optional[Frame]:
+        """The leaf user frame — the source location of the blocking op."""
+        stack = self.stack()
+        return stack[0] if stack else None
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Memory pinned by this goroutine while alive (stack + heap)."""
+        if not self.alive:
+            return 0
+        return self.stack_bytes + self.retained_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Goroutine {self.gid} {self.name!r} {self.state.value}"
+            f"{' main' if self.is_main else ''}>"
+        )

@@ -1,0 +1,36 @@
+"""``time`` package analog on the runtime's virtual clock.
+
+Thin, readable wrappers so pattern code mirrors the Go original::
+
+    ch = after(rt, 5.0)        # ch := time.After(5 * time.Second)
+    tk = tick(rt, 1.0)         # tk := time.Tick(time.Second)
+    yield sleep(0.5)           # time.Sleep(500 * time.Millisecond)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .channel import Channel
+from .ops import SleepOp, sleep  # re-exported: yield sleep(d)
+from .scheduler import Ticker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Runtime
+
+__all__ = ["after", "tick", "new_ticker", "sleep", "SleepOp", "Ticker"]
+
+
+def after(runtime: "Runtime", duration: float) -> Channel:
+    """``time.After(d)``: channel that receives a timestamp after ``d``."""
+    return runtime.after(duration)
+
+
+def tick(runtime: "Runtime", interval: float) -> Channel:
+    """``time.Tick(d)``: unstoppable ticker channel (leak-prone, see §VI-A2)."""
+    return runtime.tick(interval)
+
+
+def new_ticker(runtime: "Runtime", interval: float) -> Ticker:
+    """``time.NewTicker(d)``: stoppable ticker."""
+    return runtime.new_ticker(interval)

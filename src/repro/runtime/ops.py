@@ -1,0 +1,266 @@
+"""Effect objects yielded by goroutine code.
+
+Goroutines in this runtime are Python generator functions.  They interact
+with the scheduler by ``yield``-ing one of the effect objects defined here
+(and call sub-functions with ``yield from``), e.g.::
+
+    def worker(ch):
+        value = yield recv(ch)          # <-ch
+        yield send(ch, value + 1)       # ch <- value+1
+
+    def parent(rt, ch):
+        yield go(worker, ch)            # go worker(ch)
+        idx, val = yield select(case_recv(ch), default=True)
+
+Each effect corresponds to a Go construct; the scheduler interprets it and
+resumes the generator with the operation's result (if any).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+#: Sentinel index returned by a select whose ``default`` arm ran.
+DEFAULT_CASE = -1
+
+
+class Op:
+    """Base class for all effects a goroutine can yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class GoOp(Op):
+    """Spawn a child goroutine (the ``go`` keyword)."""
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SendOp(Op):
+    """Blocking channel send: ``ch <- value``."""
+
+    channel: Any
+    value: Any
+
+
+@dataclass(frozen=True)
+class RecvOp(Op):
+    """Blocking channel receive: ``<-ch``.
+
+    If ``want_ok`` is true the goroutine is resumed with the two-value form
+    ``(value, ok)`` mirroring Go's ``v, ok := <-ch``; otherwise with just
+    ``value``.
+    """
+
+    channel: Any
+    want_ok: bool = False
+
+
+@dataclass(frozen=True)
+class RecvCase:
+    """A ``case v := <-ch`` arm of a select statement."""
+
+    channel: Any
+    want_ok: bool = False
+
+
+@dataclass(frozen=True)
+class SendCase:
+    """A ``case ch <- value`` arm of a select statement."""
+
+    channel: Any
+    value: Any
+
+
+SelectCase = Any  # RecvCase | SendCase
+
+
+@dataclass(frozen=True)
+class SelectOp(Op):
+    """A select statement over multiple channel operations.
+
+    The goroutine is resumed with ``(index, value)``: the index of the case
+    that fired (position in ``cases``), or :data:`DEFAULT_CASE` if the
+    ``default`` arm ran.  ``value`` is the received value for receive cases
+    (or ``(value, ok)`` when the case sets ``want_ok``) and ``None`` for
+    send cases and the default arm.
+
+    A select with no cases and no default blocks forever — exactly like Go.
+    """
+
+    cases: Tuple[SelectCase, ...]
+    has_default: bool = False
+
+
+@dataclass(frozen=True)
+class SleepOp(Op):
+    """``time.Sleep(duration)`` — park on the virtual clock."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class ParkOp(Op):
+    """Park the goroutine in a non-channel wait state.
+
+    Used to model the non-channel rows of the paper's Table IV: IO wait,
+    system calls, condition waits, and semaphore acquisition.  When
+    ``duration`` is ``None`` the goroutine parks forever (a runaway
+    goroutine that is *not* a channel partial deadlock); otherwise a timer
+    wakes it after ``duration`` virtual seconds.
+    """
+
+    reason: str  # a GoroutineState value name, e.g. "io_wait"
+    duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AllocOp(Op):
+    """Attach ``nbytes`` of heap payload to the current goroutine.
+
+    The bytes stay *retained* (counted by the RSS model) until the
+    goroutine terminates — a leaked goroutine therefore pins its payload,
+    which is precisely the memory-leak mechanism the paper describes.
+    """
+
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class FreeOp(Op):
+    """Release ``nbytes`` of previously allocated payload early."""
+
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class BurnOp(Op):
+    """Consume ``cpu_seconds`` of simulated CPU time.
+
+    Accounted against the runtime's CPU meter; used by the fleet simulator
+    to model the CPU cost of leaked timer loops (paper Fig 2).
+    """
+
+    cpu_seconds: float
+
+
+@dataclass(frozen=True)
+class YieldOp(Op):
+    """``runtime.Gosched()`` — yield the processor, stay runnable."""
+
+
+@dataclass(frozen=True)
+class WaitOp(Op):
+    """Block on a sync primitive (WaitGroup, Mutex, Cond, Semaphore).
+
+    ``primitive`` must implement the small protocol in
+    :mod:`repro.runtime.sync`: ``_try_acquire(goro) -> bool``,
+    ``_park(goro) -> None`` and a ``wait_state`` attribute naming the
+    :class:`~repro.runtime.goroutine.GoroutineState` to park in.
+    """
+
+    primitive: Any
+
+
+# ---------------------------------------------------------------------------
+# Ergonomic constructors.  Goroutine code reads like the Go original:
+#     yield send(ch, v)        # ch <- v
+#     v = yield recv(ch)       # v := <-ch
+#     yield go(worker, ch)     # go worker(ch)
+# ---------------------------------------------------------------------------
+
+
+def go(fn: Callable[..., Any], *args: Any, name: Optional[str] = None) -> GoOp:
+    """Spawn ``fn(*args)`` as a new goroutine."""
+    return GoOp(fn, args, name)
+
+
+def send(channel: Any, value: Any) -> SendOp:
+    """Blocking send of ``value`` on ``channel``."""
+    return SendOp(channel, value)
+
+
+def recv(channel: Any) -> RecvOp:
+    """Blocking receive from ``channel``; resumes with the value."""
+    return RecvOp(channel)
+
+
+def recv_ok(channel: Any) -> RecvOp:
+    """Two-value receive; resumes with ``(value, ok)``."""
+    return RecvOp(channel, want_ok=True)
+
+
+def case_recv(channel: Any) -> RecvCase:
+    """Build a receive arm for :func:`select`."""
+    return RecvCase(channel)
+
+
+def case_recv_ok(channel: Any) -> RecvCase:
+    """Receive arm resuming with ``(value, ok)``."""
+    return RecvCase(channel, want_ok=True)
+
+
+def case_send(channel: Any, value: Any) -> SendCase:
+    """Build a send arm for :func:`select`."""
+    return SendCase(channel, value)
+
+
+def select(*cases: SelectCase, default: bool = False) -> SelectOp:
+    """A Go ``select`` over ``cases``; ``default=True`` adds a default arm."""
+    return SelectOp(tuple(cases), has_default=default)
+
+
+def sleep(duration: float) -> SleepOp:
+    """Sleep for ``duration`` virtual seconds."""
+    return SleepOp(duration)
+
+
+def park(reason: str, duration: Optional[float] = None) -> ParkOp:
+    """Park in a non-channel wait state (io_wait, syscall, ...)."""
+    return ParkOp(reason, duration)
+
+
+def alloc(nbytes: int) -> AllocOp:
+    """Retain ``nbytes`` of heap payload on the current goroutine."""
+    return AllocOp(nbytes)
+
+
+def free(nbytes: int) -> FreeOp:
+    """Release ``nbytes`` of retained payload."""
+    return FreeOp(nbytes)
+
+
+def burn(cpu_seconds: float) -> BurnOp:
+    """Account ``cpu_seconds`` of CPU work to the runtime's CPU meter."""
+    return BurnOp(cpu_seconds)
+
+
+def gosched() -> YieldOp:
+    """Yield the processor; the goroutine stays runnable."""
+    return YieldOp()
+
+
+def chan_range(channel: Any, body: Callable[[Any], Any]):
+    """Iterate a channel like Go's ``for v := range ch``.
+
+    A sub-generator driven with ``yield from``::
+
+        yield from chan_range(ch, process)
+
+    ``body(value)`` runs once per received item; if it returns a generator
+    (i.e. it wants to yield effects itself) the generator is delegated to.
+    The loop exits when the channel is closed and drained — and, like the
+    paper's Listing 3, blocks forever if the channel is never closed.
+    """
+    while True:
+        value, ok = yield RecvOp(channel, want_ok=True)
+        if not ok:
+            return
+        result = body(value)
+        if hasattr(result, "__next__"):
+            yield from result

@@ -1,0 +1,518 @@
+"""The cooperative scheduler and virtual clock — our stand-in for the Go runtime.
+
+A :class:`Runtime` owns a set of goroutines (generators), a run queue, and
+a timer heap over a deterministic virtual clock.  Goroutines are resumed
+round-robin; every effect they yield is interpreted here.  All
+non-determinism (select arm choice) flows through a seeded RNG, so entire
+experiments are reproducible bit-for-bit.
+
+The runtime also keeps the books the paper's tools need:
+
+* live goroutines with stacks and wait reasons (consumed by goleak and the
+  pprof-analog profiler),
+* resident-set-size accounting (stacks + retained heap + channel buffers +
+  undelivered payloads of parked senders), and
+* a CPU meter fed by ``burn`` effects (consumed by the fleet simulator).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import weakref
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import random
+
+from .channel import Channel, NIL_CHANNEL, Payload, Waiter
+from .errors import GlobalDeadlock, Panic, SchedulerExhausted
+from .goroutine import (
+    DEFAULT_STACK_BYTES,
+    Goroutine,
+    GoroutineState,
+)
+from .ops import (
+    AllocOp,
+    BurnOp,
+    FreeOp,
+    GoOp,
+    Op,
+    ParkOp,
+    RecvOp,
+    SelectOp,
+    SendOp,
+    SleepOp,
+    WaitOp,
+    YieldOp,
+)
+from .selects import resolve_select
+from .stack import Frame, capture_stack
+
+#: Default per-run scheduling-step budget.
+DEFAULT_MAX_STEPS = 10_000_000
+
+#: Baseline process RSS before any goroutine exists (Go runtime + binary).
+DEFAULT_BASE_RSS = 16 * 1024 * 1024
+
+_PARK_STATES = {
+    "io_wait": GoroutineState.IO_WAIT,
+    "syscall": GoroutineState.SYSCALL,
+    "semacquire": GoroutineState.SEMACQUIRE,
+    "cond_wait": GoroutineState.COND_WAIT,
+    "sleep": GoroutineState.SLEEPING,
+}
+
+#: Park states the Go deadlock detector ignores (IO may complete externally).
+_EXTERNALLY_WAKEABLE = frozenset(
+    {GoroutineState.IO_WAIT, GoroutineState.SYSCALL}
+)
+
+
+class _Timer:
+    """A scheduled callback on the virtual clock."""
+
+    __slots__ = ("when", "callback", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[[], None]):
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Ticker:
+    """Repeating timer delivering virtual timestamps on a capacity-1 channel.
+
+    Mirrors ``time.Ticker``: ticks are *dropped* when the channel is full
+    (a slow receiver never backs up the ticker), and :meth:`stop` ends
+    delivery without closing the channel — which is why abandoned tickers
+    in receive loops are the paper's §VI-A2 leak pattern.
+    """
+
+    def __init__(self, runtime: "Runtime", interval: float):
+        if interval <= 0:
+            raise ValueError("non-positive ticker interval")
+        self.channel = runtime.make_chan(1, label="time.Tick")
+        self._runtime = runtime
+        self._interval = interval
+        self._stopped = False
+        self._schedule()
+
+    def _schedule(self) -> None:
+        self._timer = self._runtime.call_later(self._interval, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped or self.channel.closed:
+            return
+        if len(self.channel.buffer) < self.channel.capacity or (
+            self.channel._peek_recv_waiter() is not None
+        ):
+            self.channel.try_send(self._runtime.now)
+        self._schedule()
+
+    def stop(self) -> None:
+        """Stop tick delivery (does not close the channel, as in Go)."""
+        self._stopped = True
+        self._timer.cancel()
+
+
+class Runtime:
+    """A single simulated Go process."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        panic_mode: str = "raise",
+        base_rss: int = DEFAULT_BASE_RSS,
+        stack_bytes: int = DEFAULT_STACK_BYTES,
+        name: str = "process",
+    ):
+        if panic_mode not in ("raise", "record"):
+            raise ValueError("panic_mode must be 'raise' or 'record'")
+        self.name = name
+        self.rng = random.Random(seed)
+        self.now: float = 0.0
+        self.panic_mode = panic_mode
+        self.base_rss = base_rss
+        self.default_stack_bytes = stack_bytes
+        self.steps = 0
+        self.cpu_seconds = 0.0
+        self.goroutines_spawned = 0
+        self.goroutines_finished = 0
+        self._goroutines: Dict[int, Goroutine] = {}
+        self._run_queue: Deque[Goroutine] = deque()
+        self._timers: List[Tuple[float, int, _Timer]] = []
+        self._timer_seq = itertools.count()
+        self._gid_seq = itertools.count(1)
+        self._channels: "weakref.WeakSet[Channel]" = weakref.WeakSet()
+        self.main: Optional[Goroutine] = None
+        self.panics: List[Tuple[Goroutine, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    # Channels and timers
+    # ------------------------------------------------------------------
+
+    def make_chan(self, capacity: int = 0, label: Optional[str] = None) -> Channel:
+        """``make(chan T, capacity)`` — registers the channel for RSS books."""
+        channel = Channel(capacity, label=label)
+        self._channels.add(channel)
+        return channel
+
+    @property
+    def nil_chan(self) -> Any:
+        """The nil channel (all operations block forever)."""
+        return NIL_CHANNEL
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> _Timer:
+        """Schedule ``callback`` at virtual time ``now + delay``."""
+        return self.call_at(self.now + delay, callback)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> _Timer:
+        timer = _Timer(when, callback)
+        heapq.heappush(self._timers, (when, next(self._timer_seq), timer))
+        return timer
+
+    def after(self, delay: float) -> Channel:
+        """``time.After(delay)`` — capacity-1 channel receiving a timestamp."""
+        channel = self.make_chan(1, label="time.After")
+
+        def fire() -> None:
+            if not channel.closed:
+                channel.try_send(self.now)
+
+        self.call_later(delay, fire)
+        return channel
+
+    def tick(self, interval: float) -> Channel:
+        """``time.Tick(interval)`` — a ticker channel nobody can stop."""
+        return Ticker(self, interval).channel
+
+    def new_ticker(self, interval: float) -> Ticker:
+        """``time.NewTicker(interval)`` — a stoppable ticker."""
+        return Ticker(self, interval)
+
+    # ------------------------------------------------------------------
+    # Goroutine lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        creation_ctx: Optional[Frame] = None,
+        stack_bytes: Optional[int] = None,
+        is_main: bool = False,
+    ) -> Goroutine:
+        """Start ``fn(*args)`` as a goroutine (the external ``go`` keyword)."""
+        gen = fn(*args)
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"goroutine body {fn!r} must be a generator function "
+                "(use 'yield' for channel ops; plain functions cannot block)"
+            )
+        gid = next(self._gid_seq)
+        goro = Goroutine(
+            gid=gid,
+            gen=gen,
+            runtime=self,
+            name=name or getattr(fn, "__qualname__", str(fn)),
+            created_at=self.now,
+            creation_ctx=creation_ctx,
+            stack_bytes=stack_bytes or self.default_stack_bytes,
+            is_main=is_main,
+        )
+        self._goroutines[gid] = goro
+        self.goroutines_spawned += 1
+        if is_main:
+            self.main = goro
+        self._enqueue(goro)
+        return goro
+
+    def _enqueue(self, goro: Goroutine) -> None:
+        self._run_queue.append(goro)
+
+    def _finish(self, goro: Goroutine, result: Any) -> None:
+        goro.state = GoroutineState.DONE
+        goro.result = result
+        goro.retained_bytes = 0
+        goro.gen = None  # release frames so channels/values can be collected
+        self.goroutines_finished += 1
+        if not goro.is_main:
+            # Done goroutines leave the address space entirely; keep main
+            # for run() to read its result.
+            self._goroutines.pop(goro.gid, None)
+
+    def _record_panic(self, goro: Goroutine, exc: BaseException) -> None:
+        goro.state = GoroutineState.PANICKED
+        goro.panic = exc
+        goro.retained_bytes = 0
+        goro.gen = None
+        self.panics.append((goro, exc))
+        self._goroutines.pop(goro.gid, None)
+        if self.panic_mode == "raise":
+            raise exc
+
+    # ------------------------------------------------------------------
+    # The interpreter
+    # ------------------------------------------------------------------
+
+    def _step(self) -> None:
+        goro = self._run_queue.popleft()
+        if goro.state is not GoroutineState.RUNNABLE:
+            return  # stale queue entry (finished or re-parked meanwhile)
+        goro.state = GoroutineState.RUNNING
+        self.steps += 1
+        try:
+            if goro.pending_exception is not None:
+                exc = goro.pending_exception
+                goro.pending_exception = None
+                op = goro.gen.throw(exc)
+            else:
+                value = goro.pending_value
+                goro.pending_value = None
+                op = goro.gen.send(value)
+        except StopIteration as stop:
+            self._finish(goro, stop.value)
+            return
+        except Panic as panic:
+            self._record_panic(goro, panic)
+            return
+        self._dispatch(goro, op)
+
+    def _dispatch(self, goro: Goroutine, op: Op) -> None:
+        if isinstance(op, SendOp):
+            self._do_send(goro, op)
+        elif isinstance(op, RecvOp):
+            self._do_recv(goro, op)
+        elif isinstance(op, SelectOp):
+            resolve_select(self, goro, op)
+        elif isinstance(op, GoOp):
+            creation_ctx = None
+            if goro.gen is not None:
+                stack = capture_stack(goro.gen)
+                creation_ctx = stack[0] if stack else None
+            self.spawn(op.fn, *op.args, name=op.name, creation_ctx=creation_ctx)
+            goro.make_runnable(None)
+        elif isinstance(op, SleepOp):
+            self._do_sleep(goro, op.duration)
+        elif isinstance(op, ParkOp):
+            self._do_park(goro, op)
+        elif isinstance(op, AllocOp):
+            goro.retained_bytes += op.nbytes
+            goro.make_runnable(None)
+        elif isinstance(op, FreeOp):
+            goro.retained_bytes = max(0, goro.retained_bytes - op.nbytes)
+            goro.make_runnable(None)
+        elif isinstance(op, BurnOp):
+            self.cpu_seconds += op.cpu_seconds
+            goro.make_runnable(None)
+        elif isinstance(op, WaitOp):
+            primitive = op.primitive
+            if primitive._try_acquire(goro):
+                goro.make_runnable(None)
+            else:
+                primitive._park(goro)
+                goro.block(primitive.wait_state, primitive)
+        elif isinstance(op, YieldOp):
+            goro.make_runnable(None)
+        else:
+            raise TypeError(f"goroutine {goro.name!r} yielded non-effect {op!r}")
+
+    def _do_send(self, goro: Goroutine, op: SendOp) -> None:
+        channel = op.channel
+        if channel.is_nil:
+            goro.block(GoroutineState.BLOCKED_SEND, channel)
+            return
+        try:
+            sent = channel.try_send(op.value)
+        except Panic as exc:
+            goro.throw(exc)
+            return
+        if sent:
+            goro.make_runnable(None)
+        else:
+            channel.park_sender(Waiter(goro, value=op.value))
+            goro.block(GoroutineState.BLOCKED_SEND, channel)
+
+    def _do_recv(self, goro: Goroutine, op: RecvOp) -> None:
+        channel = op.channel
+        if channel.is_nil:
+            goro.block(GoroutineState.BLOCKED_RECV, channel)
+            return
+        completed, value, ok = channel.try_recv()
+        if completed:
+            if isinstance(value, Payload):
+                value = value.value
+            goro.make_runnable((value, ok) if op.want_ok else value)
+        else:
+            channel.park_receiver(Waiter(goro, want_ok=op.want_ok))
+            goro.block(GoroutineState.BLOCKED_RECV, channel)
+
+    def _do_sleep(self, goro: Goroutine, duration: float) -> None:
+        if duration <= 0:
+            goro.make_runnable(None)
+            return
+        goro.block(GoroutineState.SLEEPING, None)
+
+        def wake() -> None:
+            if goro.state is GoroutineState.SLEEPING:
+                goro.make_runnable(None)
+
+        self.call_later(duration, wake)
+
+    def _do_park(self, goro: Goroutine, op: ParkOp) -> None:
+        state = _PARK_STATES.get(op.reason)
+        if state is None:
+            raise ValueError(f"unknown park reason {op.reason!r}")
+        goro.block(state, None)
+        if op.duration is not None:
+            blocked_state = state
+
+            def wake() -> None:
+                if goro.state is blocked_state:
+                    goro.make_runnable(None)
+
+            self.call_later(op.duration, wake)
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
+
+    def run_until_quiescent(
+        self,
+        deadline: Optional[float] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        detect_global_deadlock: bool = False,
+    ) -> None:
+        """Run until nothing is runnable and no timer can change that.
+
+        ``deadline`` bounds the virtual clock — necessary for workloads
+        with unstoppable tickers, which otherwise never quiesce.  With
+        ``detect_global_deadlock`` the runtime mimics Go's fatal
+        ``all goroutines are asleep`` check.
+        """
+        self._steps_base = self.steps
+        budget = max_steps
+        while True:
+            while self._run_queue:
+                if self.steps >= budget + self._steps_base:
+                    raise SchedulerExhausted(self.steps)
+                self._step()
+            fired = self._advance_clock(deadline)
+            if not fired:
+                break
+        if (
+            detect_global_deadlock
+            and self.main is not None
+            and self.main.alive
+            and not self._has_pending_timers(deadline)
+        ):
+            live = [g for g in self._goroutines.values() if g.alive]
+            if live and all(
+                g.blocked and g.state not in _EXTERNALLY_WAKEABLE for g in live
+            ):
+                raise GlobalDeadlock(len(live))
+        if deadline is not None and self.now < deadline:
+            self.now = deadline
+
+    _steps_base = 0
+
+    def _has_pending_timers(self, deadline: Optional[float]) -> bool:
+        for when, _seq, timer in self._timers:
+            if timer.cancelled:
+                continue
+            if deadline is not None and when > deadline:
+                continue
+            return True
+        return False
+
+    def _advance_clock(self, deadline: Optional[float]) -> bool:
+        """Jump to the next timer (within deadline) and fire everything due."""
+        while self._timers:
+            when, _seq, timer = self._timers[0]
+            if timer.cancelled:
+                heapq.heappop(self._timers)
+                continue
+            if deadline is not None and when > deadline:
+                return False
+            break
+        else:
+            return False
+        when, _seq, timer = heapq.heappop(self._timers)
+        self.now = max(self.now, when)
+        timer.callback()
+        fired = 1
+        # Fire everything else due at (or before) the same instant.
+        while self._timers and self._timers[0][0] <= self.now:
+            _when, _seq, timer = heapq.heappop(self._timers)
+            if not timer.cancelled:
+                timer.callback()
+                fired += 1
+        return bool(fired)
+
+    def run(
+        self,
+        main_fn: Callable[..., Any],
+        *args: Any,
+        deadline: Optional[float] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        detect_global_deadlock: bool = True,
+    ) -> Any:
+        """Run ``main_fn(*args)`` as the main goroutine to completion.
+
+        Returns the main goroutine's return value.  Goroutines leaked by
+        the program remain parked in the runtime afterwards — that residue
+        is what :mod:`repro.goleak` inspects.
+        """
+        goro = self.spawn(main_fn, *args, is_main=True)
+        self.run_until_quiescent(
+            deadline=deadline,
+            max_steps=max_steps,
+            detect_global_deadlock=detect_global_deadlock,
+        )
+        if goro.state is GoroutineState.PANICKED:
+            raise goro.panic  # pragma: no cover - panic_mode="raise" raises earlier
+        result = goro.result
+        if goro.state is GoroutineState.DONE:
+            self._goroutines.pop(goro.gid, None)
+            if self.main is goro:
+                self.main = None
+        return result
+
+    def advance(self, duration: float, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        """Advance the virtual clock by ``duration``, running whatever wakes."""
+        self.run_until_quiescent(deadline=self.now + duration, max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    # Introspection: the data goleak / pprof / the fleet model consume
+    # ------------------------------------------------------------------
+
+    def live_goroutines(self) -> List[Goroutine]:
+        """Every goroutine currently occupying the address space."""
+        return [g for g in self._goroutines.values() if g.alive]
+
+    @property
+    def num_goroutines(self) -> int:
+        return sum(1 for g in self._goroutines.values() if g.alive)
+
+    def blocked_goroutines(self) -> List[Goroutine]:
+        return [g for g in self._goroutines.values() if g.blocked]
+
+    def rss(self) -> int:
+        """Modeled resident set size of this process, in bytes."""
+        total = self.base_rss
+        for goro in self._goroutines.values():
+            total += goro.footprint_bytes
+        for channel in self._channels:
+            total += channel.buffered_bytes + channel.pending_send_bytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Runtime {self.name!r} t={self.now:.3f} "
+            f"goroutines={self.num_goroutines} steps={self.steps}>"
+        )

@@ -1,0 +1,84 @@
+"""Resolution of Go ``select`` statements.
+
+Mirrors the Go runtime's ``selectgo``: poll all arms for readiness, fire a
+uniformly random ready arm, fall back to ``default`` if present, otherwise
+park the goroutine on *every* arm's channel with a shared completion
+ticket so that the first arm to fire cancels its siblings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .channel import SelectTicket, Waiter
+from .errors import Panic
+from .goroutine import Goroutine, GoroutineState
+from .ops import DEFAULT_CASE, RecvCase, SelectOp, SendCase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Runtime
+
+
+def resolve_select(rt: "Runtime", goro: Goroutine, op: SelectOp) -> None:
+    """Execute one select statement on behalf of ``goro``.
+
+    Either resumes the goroutine immediately (an arm or the default fired)
+    or parks it across all arms.  A select with zero cases and no default
+    blocks forever, as in Go.
+    """
+    cases = op.cases
+    if not cases and not op.has_default:
+        goro.block(GoroutineState.BLOCKED_SELECT, ())
+        return
+
+    ready: List[int] = []
+    for index, case in enumerate(cases):
+        channel = case.channel
+        if isinstance(case, RecvCase):
+            if channel.recv_ready():
+                ready.append(index)
+        elif isinstance(case, SendCase):
+            if channel.send_ready():
+                ready.append(index)
+        else:  # pragma: no cover - builder functions prevent this
+            raise TypeError(f"not a select case: {case!r}")
+
+    if ready:
+        index = ready[0] if len(ready) == 1 else rt.rng.choice(ready)
+        case = cases[index]
+        if isinstance(case, RecvCase):
+            completed, value, ok = case.channel.try_recv()
+            assert completed, "ready recv case must complete"
+            result = (index, (value, ok)) if case.want_ok else (index, value)
+            goro.make_runnable(result)
+        else:
+            try:
+                sent = case.channel.try_send(case.value)
+            except Panic as exc:
+                goro.throw(exc)
+                return
+            assert sent, "ready send case must complete"
+            goro.make_runnable((index, None))
+        return
+
+    if op.has_default:
+        goro.make_runnable((DEFAULT_CASE, None))
+        return
+
+    ticket = SelectTicket()
+    parked_channels = []
+    for index, case in enumerate(cases):
+        channel = case.channel
+        if channel.is_nil:
+            # nil-channel arms are never ready; Go simply ignores them.
+            continue
+        if isinstance(case, RecvCase):
+            waiter = Waiter(
+                goro, want_ok=case.want_ok, ticket=ticket, case_index=index
+            )
+            channel.park_receiver(waiter)
+        else:
+            waiter = Waiter(goro, value=case.value, ticket=ticket, case_index=index)
+            channel.park_sender(waiter)
+        parked_channels.append(channel)
+    goro.block(GoroutineState.BLOCKED_SELECT, tuple(parked_channels))

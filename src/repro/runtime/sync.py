@@ -1,0 +1,199 @@
+"""Shared-memory synchronization primitives: ``sync`` package analog.
+
+The paper's monorepo study (Table I) shows shared-memory and message-passing
+concurrency coexisting; goroutines leaked on these primitives show up as the
+``Semaphore Acquire`` / ``Condition Wait`` rows of Table IV.
+
+Blocking methods return a :class:`~repro.runtime.ops.WaitOp` effect and are
+used as ``yield wg.wait()`` / ``yield mu.lock()``.  Non-blocking methods
+(``add``, ``done``, ``unlock``, ``signal``) are plain synchronous calls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .errors import Panic
+from .goroutine import Goroutine, GoroutineState
+from .ops import WaitOp
+
+
+class WaitGroup:
+    """``sync.WaitGroup``: wait for a collection of goroutines to finish."""
+
+    wait_state = GoroutineState.SEMACQUIRE
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._waiters: List[Goroutine] = []
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, delta: int) -> None:
+        """Add ``delta`` to the counter; panics if it goes negative."""
+        self._count += delta
+        if self._count < 0:
+            raise Panic("sync: negative WaitGroup counter")
+        if self._count == 0:
+            waiters, self._waiters = self._waiters, []
+            for goro in waiters:
+                goro.make_runnable(None)
+
+    def done(self) -> None:
+        """Decrement the counter by one."""
+        self.add(-1)
+
+    def wait(self) -> WaitOp:
+        """Effect: block until the counter reaches zero."""
+        return WaitOp(self)
+
+    # WaitOp protocol ------------------------------------------------------
+
+    def _try_acquire(self, goro: Goroutine) -> bool:
+        return self._count == 0
+
+    def _park(self, goro: Goroutine) -> None:
+        self._waiters.append(goro)
+
+
+class Mutex:
+    """``sync.Mutex`` with FIFO handoff to parked waiters."""
+
+    wait_state = GoroutineState.SEMACQUIRE
+
+    def __init__(self) -> None:
+        self._owner: Optional[Goroutine] = None
+        self._waiters: Deque[Goroutine] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    def lock(self) -> WaitOp:
+        """Effect: acquire the mutex, blocking if held."""
+        return WaitOp(self)
+
+    def unlock(self) -> None:
+        """Release the mutex; panics if it is not locked (as in Go)."""
+        if self._owner is None:
+            raise Panic("sync: unlock of unlocked mutex")
+        if self._waiters:
+            self._owner = self._waiters.popleft()
+            self._owner.make_runnable(None)
+        else:
+            self._owner = None
+
+    # WaitOp protocol ------------------------------------------------------
+
+    def _try_acquire(self, goro: Goroutine) -> bool:
+        if self._owner is None:
+            self._owner = goro
+            return True
+        return False
+
+    def _park(self, goro: Goroutine) -> None:
+        self._waiters.append(goro)
+
+
+class Semaphore:
+    """A counting semaphore (``golang.org/x/sync/semaphore`` analog)."""
+
+    wait_state = GoroutineState.SEMACQUIRE
+
+    def __init__(self, tokens: int):
+        if tokens < 0:
+            raise ValueError("negative semaphore size")
+        self._tokens = tokens
+        self._waiters: Deque[Goroutine] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._tokens
+
+    def acquire(self) -> WaitOp:
+        """Effect: take one token, blocking while none are available."""
+        return WaitOp(self)
+
+    def release(self) -> None:
+        """Return one token, handing it directly to a parked waiter."""
+        if self._waiters:
+            self._waiters.popleft().make_runnable(None)
+        else:
+            self._tokens += 1
+
+    # WaitOp protocol ------------------------------------------------------
+
+    def _try_acquire(self, goro: Goroutine) -> bool:
+        if self._tokens > 0:
+            self._tokens -= 1
+            return True
+        return False
+
+    def _park(self, goro: Goroutine) -> None:
+        self._waiters.append(goro)
+
+
+class Cond:
+    """``sync.Cond``: condition variable bound to a :class:`Mutex`.
+
+    ``wait`` is a sub-generator (``yield from cond.wait()``) because it
+    must atomically release the mutex, park, then re-acquire on wake.
+    """
+
+    wait_state = GoroutineState.COND_WAIT
+
+    def __init__(self, mutex: Mutex):
+        self.mutex = mutex
+        self._waiters: Deque[Goroutine] = deque()
+
+    def wait(self):
+        """Sub-generator: release lock, park until signaled, re-acquire."""
+        self.mutex.unlock()
+        yield WaitOp(self)
+        yield self.mutex.lock()
+
+    def signal(self) -> None:
+        """Wake one waiter, if any."""
+        if self._waiters:
+            self._waiters.popleft().make_runnable(None)
+
+    def broadcast(self) -> None:
+        """Wake every waiter."""
+        waiters, self._waiters = self._waiters, deque()
+        for goro in waiters:
+            goro.make_runnable(None)
+
+    # WaitOp protocol ------------------------------------------------------
+
+    def _try_acquire(self, goro: Goroutine) -> bool:
+        return False  # cond.Wait always parks until signaled
+
+    def _park(self, goro: Goroutine) -> None:
+        self._waiters.append(goro)
+
+
+class Once:
+    """``sync.Once``: run a function at most once."""
+
+    def __init__(self) -> None:
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def do(self, fn: Callable[[], Any]):
+        """Sub-generator: run ``fn`` once; later calls are no-ops.
+
+        ``fn`` may be a plain function or a generator function (in which
+        case its effects are delegated).
+        """
+        if self._done:
+            return
+        self._done = True
+        result = fn()
+        if hasattr(result, "__next__"):
+            yield from result

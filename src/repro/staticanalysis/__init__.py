@@ -1,0 +1,45 @@
+"""Static-analysis baselines (GCatch/GOAT/Gomela analogs) over ChanLang."""
+
+from . import gcatch, goat, gomela, ir, linter, oracle, programs
+from .common import Limits, Report
+from .evaluate import (
+    STATIC_TOOLS,
+    ToolEvaluation,
+    evaluate_goleak,
+    evaluate_static_tools,
+)
+from .ir import Program
+from .linter import LintFinding, lint_program
+from .oracle import ExecutionResult, OracleVerdict, execute, oracle
+from .programs import (
+    HEALTHY_TEMPLATES,
+    LEAKY_TEMPLATES,
+    LabeledProgram,
+    build_corpus,
+)
+
+__all__ = [
+    "HEALTHY_TEMPLATES",
+    "LEAKY_TEMPLATES",
+    "LabeledProgram",
+    "Limits",
+    "LintFinding",
+    "ExecutionResult",
+    "OracleVerdict",
+    "Program",
+    "Report",
+    "STATIC_TOOLS",
+    "ToolEvaluation",
+    "build_corpus",
+    "evaluate_goleak",
+    "evaluate_static_tools",
+    "execute",
+    "gcatch",
+    "goat",
+    "gomela",
+    "ir",
+    "lint_program",
+    "linter",
+    "oracle",
+    "programs",
+]

@@ -1,0 +1,594 @@
+"""Shared front-end of the static-analysis baselines.
+
+Implements the machinery the paper attributes to GCatch and GOAT:
+
+* an Andersen-style *allocation-site* channel abstraction with
+  context-insensitive merging through calls and aliases (the
+  over-approximate "points-to" pre-analysis),
+* bounded *path enumeration* with call inlining up to a depth, loop
+  unrolling up to a bound, and both branches of every ``If`` explored
+  **ignoring branch correlation** (the documented false-positive source),
+* a small bounded-interleaving *matcher* that decides, for one concrete
+  scenario (one path per goroutine), which goroutines finish and which end
+  up parked on a channel op — the analog of GCatch's SMT blocking check.
+
+Analyzers (:mod:`.gcatch`, :mod:`.goat`, :mod:`.gomela`) configure and
+combine these pieces differently, which is what produces their different
+precision profiles in Table III.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ir import (
+    Alias,
+    Anon,
+    Call,
+    Close,
+    Direct,
+    DYNAMIC,
+    ForRange,
+    Go,
+    If,
+    Indirect,
+    Loop,
+    MakeChan,
+    Program,
+    Recv,
+    Return,
+    SelectStmt,
+    Send,
+    Sleep,
+)
+
+
+@dataclass(frozen=True)
+class Report:
+    """One analyzer alert: a potentially blocking op at ``loc``."""
+
+    tool: str
+    program: str
+    loc: str
+    reason: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.program, self.loc)
+
+
+@dataclass
+class Limits:
+    """Analysis budgets; exceeding them degrades soundness, as in the paper."""
+
+    inline_depth: int = 4  # call/spawn inlining depth (wrappers beyond: lost)
+    unroll: int = 3  # loop unrolling bound
+    max_paths: int = 48  # per-function path budget
+    max_scenarios: int = 256  # parent×children combinations examined
+    interleavings: int = 4  # schedules tried per scenario
+    step_budget: int = 50_000  # matcher steps before "timeout"
+
+
+# ---------------------------------------------------------------------------
+# Alternative 1 of the op alphabet: sequences for the matcher
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathOp:
+    """One primitive event on an abstract channel along a path."""
+
+    kind: str  # "send" | "recv" | "close" | "range" | "select"
+    chan: int  # abstract channel id (-1 for transient/unknown)
+    loc: str
+    #: For selects: the sibling alternatives (kind, chan) incl. the chosen
+    #: one, plus whether a default arm exists.
+    alternatives: Tuple[Tuple[str, int], ...] = ()
+    has_default: bool = False
+
+
+@dataclass
+class Path:
+    """One execution path of one goroutine: its ops plus spawned children.
+
+    ``spawns[i]`` is the list of alternative paths the i-th spawned
+    goroutine may take.  ``terminated`` paths hit a ``Return`` and ignore
+    all later statements of the enclosing body.
+    """
+
+    ops: List[PathOp] = field(default_factory=list)
+    spawns: List[List["Path"]] = field(default_factory=list)
+    terminated: bool = False
+
+    def extended(self, op: Optional[PathOp] = None) -> "Path":
+        clone = Path(
+            ops=list(self.ops), spawns=list(self.spawns),
+            terminated=self.terminated,
+        )
+        if op is not None:
+            clone.ops.append(op)
+        return clone
+
+
+class ChannelAbstraction:
+    """Allocation-site channel numbering with over-approximate merging.
+
+    Channels are identified by allocation site.  Passing a channel to a
+    callee parameter binds the parameter name to the same abstract id
+    (context-insensitively: all call sites merge), and ``Alias`` obviously
+    merges.  ``DYNAMIC`` capacities are conservatively treated as 0 —
+    exactly the over-approximation that makes real tools report
+    never-blocking sends on runtime-sized buffers.
+    """
+
+    def __init__(self) -> None:
+        self._next = itertools.count(1)
+        self.capacities: Dict[int, int] = {}
+
+    def allocate(self, capacity: int) -> int:
+        cid = next(self._next)
+        self.capacities[cid] = 0 if capacity == DYNAMIC else capacity
+        return cid
+
+    def capacity(self, cid: int) -> int:
+        return self.capacities.get(cid, 0)
+
+
+class PathEnumerator:
+    """Bounded, correlation-blind path enumeration over ChanLang."""
+
+    def __init__(self, program: Program, limits: Limits,
+                 follow_indirect: bool = True):
+        self.program = program
+        self.limits = limits
+        self.follow_indirect = follow_indirect
+        self.channels = ChannelAbstraction()
+        self.truncated = False  # any budget hit (recorded, like a tool log)
+
+    # -- public entry --------------------------------------------------------
+
+    def paths_of(self, func_name: str) -> List[Path]:
+        func = self.program.func(func_name)
+        env = {param: self.channels.allocate(0) for param in func.params}
+        return self._paths(func.body, env, self.limits.inline_depth)
+
+    # -- enumeration ---------------------------------------------------------
+
+    def _cap_paths(self, paths: List[Path]) -> List[Path]:
+        if len(paths) > self.limits.max_paths:
+            self.truncated = True
+            return paths[: self.limits.max_paths]
+        return paths
+
+    def _paths(self, body, env: Dict[str, int], depth: int) -> List[Path]:
+        paths = [Path()]
+        env = dict(env)
+        for stmt in body:
+            done = [p for p in paths if p.terminated]
+            active = [p for p in paths if not p.terminated]
+            if not active:
+                break
+            paths = done + self._cap_paths(
+                self._step(stmt, active, env, depth)
+            )
+        return paths
+
+    def _step(self, stmt, paths: List[Path], env, depth) -> List[Path]:
+        if isinstance(stmt, MakeChan):
+            env[stmt.var] = self.channels.allocate(stmt.capacity)
+            return paths
+        if isinstance(stmt, Alias):
+            env[stmt.var] = env[stmt.of]
+            return paths
+        if isinstance(stmt, Sleep):
+            return paths  # timing is invisible statically
+        if isinstance(stmt, Send):
+            op = PathOp("send", env[stmt.chan], stmt.loc)
+            return [p.extended(op) for p in paths]
+        if isinstance(stmt, Recv):
+            op = PathOp("recv", env[stmt.chan], stmt.loc)
+            return [p.extended(op) for p in paths]
+        if isinstance(stmt, Close):
+            op = PathOp("close", env[stmt.chan], "close")
+            return [p.extended(op) for p in paths]
+        if isinstance(stmt, ForRange):
+            op = PathOp("range", env[stmt.chan], stmt.loc)
+            return [p.extended(op) for p in paths]
+        if isinstance(stmt, Return):
+            out = []
+            for path in paths:
+                clone = path.extended()
+                clone.terminated = True
+                out.append(clone)
+            return out
+        if isinstance(stmt, If):
+            # The imprecision: both branches, independently of cond_id.
+            out: List[Path] = []
+            for path in paths:
+                for branch in (stmt.then, stmt.orelse):
+                    for suffix in self._paths_from(branch, env, depth, path):
+                        out.append(suffix)
+            return out
+        if isinstance(stmt, Loop):
+            times = min(stmt.times, self.limits.unroll)
+            if times < stmt.times:
+                self.truncated = True
+            out = paths
+            for _ in range(times):
+                new_out: List[Path] = []
+                for path in out:
+                    new_out.extend(self._paths_from(stmt.body, env, depth, path))
+                out = self._cap_paths(new_out)
+            return out
+        if isinstance(stmt, SelectStmt):
+            return self._select_paths(stmt, paths, env, depth)
+        if isinstance(stmt, Go):
+            return self._spawn(stmt, paths, env, depth)
+        if isinstance(stmt, Call):
+            return self._call(stmt, paths, env, depth)
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def _paths_from(self, body, env, depth, prefix: Path) -> List[Path]:
+        """Paths of ``body`` appended to ``prefix`` (env mutations local).
+
+        A ``Return`` inside ``body`` terminates the combined path — i.e.
+        it returns from the *enclosing function* (If/Loop/select bodies).
+        Synchronous calls reset this (see :meth:`_call`).
+        """
+        sub_paths = self._paths(body, env, depth)
+        out = []
+        for sub in sub_paths:
+            combined = prefix.extended()
+            combined.ops.extend(sub.ops)
+            combined.spawns.extend(sub.spawns)
+            combined.terminated = sub.terminated
+            out.append(combined)
+        return out
+
+    def _select_paths(self, stmt: SelectStmt, paths, env, depth) -> List[Path]:
+        alternatives = []
+        for case in stmt.cases:
+            if case.transient:
+                alternatives.append(("transient", -1))
+            elif isinstance(case.op, Send):
+                alternatives.append(("send", env[case.op.chan]))
+            else:
+                alternatives.append(("recv", env[case.op.chan]))
+        has_default = stmt.default is not None
+        out: List[Path] = []
+        for path in paths:
+            for index, case in enumerate(stmt.cases):
+                kind, chan = alternatives[index]
+                op = PathOp(
+                    "select",
+                    chan,
+                    stmt.loc,
+                    alternatives=tuple(alternatives),
+                    has_default=has_default,
+                )
+                armed = path.extended(op)
+                out.extend(self._paths_from(case.body, env, depth, armed))
+            if has_default:
+                out.extend(self._paths_from(stmt.default, env, depth, path))
+            if not stmt.cases and not has_default:
+                op = PathOp("select", -1, stmt.loc, alternatives=(),
+                            has_default=False)
+                out.append(path.extended(op))
+        return out
+
+    def _resolve_bodies(self, callee, env, args):
+        """(body, child_env) alternatives for a callee; [] when blinded."""
+        if isinstance(callee, Direct):
+            func = self.program.func(callee.name)
+            child_env = dict(zip(func.params, (env[a] for a in args)))
+            return [(func.body, child_env)]
+        if isinstance(callee, Anon):
+            return [(callee.body, env)]
+        if isinstance(callee, Indirect):
+            if not self.follow_indirect:
+                return []
+            out = []
+            for name in callee.candidates:
+                func = self.program.func(name)
+                child_env = dict(zip(func.params, (env[a] for a in args)))
+                out.append((func.body, child_env))
+            return out
+        raise TypeError(f"unknown callee {callee!r}")
+
+    def _spawn(self, stmt: Go, paths, env, depth) -> List[Path]:
+        if depth <= 0:
+            self.truncated = True
+            return paths  # spawn beyond inline budget: silently dropped (FN)
+        child_alternatives: List[Path] = []
+        for body, child_env in self._resolve_bodies(stmt.callee, env, stmt.args):
+            child_alternatives.extend(self._paths(body, child_env, depth - 1))
+        if not child_alternatives:
+            return paths  # blinded (e.g. indirect with follow disabled)
+        out = []
+        for path in paths:
+            clone = path.extended()
+            clone.spawns.append(child_alternatives)
+            out.append(clone)
+        return out
+
+    def _call(self, stmt: Call, paths, env, depth) -> List[Path]:
+        if depth <= 0:
+            self.truncated = True
+            return paths  # callee ops lost beyond budget
+        out: List[Path] = []
+        for body, child_env in self._resolve_bodies(stmt.callee, env, stmt.args):
+            for path in paths:
+                for combined in self._paths_from(
+                    body, child_env, depth - 1, path
+                ):
+                    # the callee's Return ends the callee, not the caller
+                    combined.terminated = False
+                    out.append(combined)
+        return self._cap_paths(out)
+
+
+# ---------------------------------------------------------------------------
+# Scenario expansion and the bounded-interleaving matcher
+# ---------------------------------------------------------------------------
+
+
+def flatten_scenarios(parent: Path, limits: Limits) -> List[List[Path]]:
+    """Expand one parent path into goroutine sets (parent + chosen children).
+
+    Children may themselves spawn; spawns nest through their ``spawns``
+    lists.  The product is capped at ``limits.max_scenarios``.
+    """
+
+    def expand(path: Path) -> List[List[Path]]:
+        # returns alternatives of [this-goroutine-and-descendants] lists
+        choice_lists = []
+        for alternatives in path.spawns:
+            nested: List[List[Path]] = []
+            for alt in alternatives:
+                nested.extend(expand(alt))
+            choice_lists.append(nested)
+        combos: List[List[Path]] = [[path]]
+        for nested in choice_lists:
+            new_combos = []
+            for combo in combos:
+                for pick in nested:
+                    if len(new_combos) >= limits.max_scenarios:
+                        break
+                    new_combos.append(combo + pick)
+                if len(new_combos) >= limits.max_scenarios:
+                    break
+            combos = new_combos or combos
+        return combos[: limits.max_scenarios]
+
+    return expand(parent)
+
+
+@dataclass
+class MatchResult:
+    """Outcome of simulating one scenario under one schedule."""
+
+    blocked: List[Tuple[str, str]] = field(default_factory=list)  # (kind, loc)
+    timed_out: bool = False
+
+
+def match(
+    goroutines: Sequence[Path],
+    limits: Limits,
+    capacities: Optional[Dict[int, int]] = None,
+    schedule_seed: int = 0,
+) -> MatchResult:
+    """Decide which goroutines park forever in one concrete scenario.
+
+    A tiny cooperative simulation over op sequences: buffers fill and
+    drain, rendezvous pair up, closes release ranges.  Select ops proceed
+    when their chosen arm is ready, are *diverted* (treated as resolved
+    elsewhere) when only a sibling arm or default is ready, and block when
+    nothing is.  ``capacities`` maps abstract channel ids to buffer sizes
+    (missing ids are unbuffered).
+    """
+    rng = random.Random(schedule_seed)
+    buffers: Dict[int, int] = {}
+    caps: Dict[int, int] = dict(capacities or {})
+    closed: Set[int] = set()
+    pointers = [0] * len(goroutines)
+    diverted = [False] * len(goroutines)
+
+    def at(index: int) -> Optional[PathOp]:
+        if diverted[index]:
+            return None
+        path = goroutines[index]
+        if pointers[index] >= len(path.ops):
+            return None
+        return path.ops[pointers[index]]
+
+    def try_advance(index: int) -> bool:
+        op = at(index)
+        if op is None:
+            return False
+        kind, chan = op.kind, op.chan
+        if kind == "close":
+            closed.add(chan)
+            pointers[index] += 1
+            return True
+        if kind == "send":
+            return _try_send(index, chan)
+        if kind == "recv":
+            return _try_recv(index, chan)
+        if kind == "range":
+            return _try_range(index, chan)
+        if kind == "select":
+            return _try_select(index, op)
+        return False
+
+    def _ready_recv(chan: int, excluding: int) -> Optional[int]:
+        for j in range(len(goroutines)):
+            if j == excluding:
+                continue
+            op = at(j)
+            if op is None:
+                continue
+            if op.kind in ("recv", "range") and op.chan == chan:
+                return j
+            if op.kind == "select":
+                chosen_kind = None
+                for alt_kind, alt_chan in op.alternatives:
+                    if alt_chan == op.chan:
+                        chosen_kind = alt_kind
+                        break
+                if chosen_kind == "recv" and op.chan == chan:
+                    return j
+        return None
+
+    def _ready_send(chan: int, excluding: int) -> Optional[int]:
+        for j in range(len(goroutines)):
+            if j == excluding:
+                continue
+            op = at(j)
+            if op is None:
+                continue
+            if op.kind == "send" and op.chan == chan:
+                return j
+            if op.kind == "select":
+                chosen_kind = None
+                for alt_kind, alt_chan in op.alternatives:
+                    if alt_chan == op.chan:
+                        chosen_kind = alt_kind
+                        break
+                if chosen_kind == "send" and op.chan == chan:
+                    return j
+        return None
+
+    def _advance_past(index: int) -> None:
+        op = at(index)
+        if op is not None and op.kind == "range":
+            return  # range stays at its op after consuming one item
+        pointers[index] += 1
+
+    def _try_send(index: int, chan: int) -> bool:
+        if chan in closed:
+            pointers[index] += 1  # panic: goroutine dies; not a leak
+            return True
+        if buffers.get(chan, 0) < caps.get(chan, 0):
+            buffers[chan] = buffers.get(chan, 0) + 1
+            pointers[index] += 1
+            return True
+        partner = _ready_recv(chan, index)
+        if partner is not None:
+            pointers[index] += 1
+            _advance_past(partner)
+            return True
+        return False
+
+    def _try_recv(index: int, chan: int) -> bool:
+        if buffers.get(chan, 0) > 0:
+            buffers[chan] -= 1
+            pointers[index] += 1
+            return True
+        partner = _ready_send(chan, index)
+        if partner is not None:
+            pointers[partner] += 1
+            pointers[index] += 1
+            return True
+        if chan in closed:
+            pointers[index] += 1
+            return True
+        return False
+
+    def _try_range(index: int, chan: int) -> bool:
+        if buffers.get(chan, 0) > 0:
+            buffers[chan] -= 1
+            return True
+        partner = _ready_send(chan, index)
+        if partner is not None:
+            pointers[partner] += 1
+            return True
+        if chan in closed:
+            pointers[index] += 1  # range exits on close
+            return True
+        return False
+
+    def _try_select(index: int, op: PathOp) -> bool:
+        if not op.alternatives and not op.has_default:
+            return False  # select{}: blocks forever
+        # chosen arm = the one on op.chan
+        chosen_kind = None
+        for alt_kind, alt_chan in op.alternatives:
+            if alt_chan == op.chan:
+                chosen_kind = alt_kind
+                break
+        # transient arms always eventually fire
+        chosen_ready = False
+        if chosen_kind == "transient" or op.chan == -1:
+            chosen_ready = True
+        elif chosen_kind == "send":
+            chosen_ready = (
+                op.chan in closed
+                or buffers.get(op.chan, 0) < caps.get(op.chan, 0)
+                or _ready_recv(op.chan, index) is not None
+            )
+        elif chosen_kind == "recv":
+            chosen_ready = (
+                buffers.get(op.chan, 0) > 0
+                or op.chan in closed
+                or _ready_send(op.chan, index) is not None
+            )
+        if chosen_ready:
+            if chosen_kind == "send":
+                return _try_send(index, op.chan) or _proceed(index)
+            if chosen_kind == "recv":
+                return _try_recv(index, op.chan) or _proceed(index)
+            pointers[index] += 1  # transient fired
+            return True
+        # sibling or default ready => this path's arm choice is infeasible
+        for alt_kind, alt_chan in op.alternatives:
+            if alt_chan == op.chan:
+                continue
+            if alt_kind == "transient" or alt_chan == -1:
+                diverted[index] = True
+                return True
+            if alt_kind == "send" and (
+                alt_chan in closed
+                or buffers.get(alt_chan, 0) < caps.get(alt_chan, 0)
+                or _ready_recv(alt_chan, index) is not None
+            ):
+                diverted[index] = True
+                return True
+            if alt_kind == "recv" and (
+                buffers.get(alt_chan, 0) > 0
+                or alt_chan in closed
+                or _ready_send(alt_chan, index) is not None
+            ):
+                diverted[index] = True
+                return True
+        if op.has_default:
+            diverted[index] = True
+            return True
+        return False
+
+    def _proceed(index: int) -> bool:
+        pointers[index] += 1
+        return True
+
+    steps = 0
+    progressed = True
+    while progressed:
+        progressed = False
+        order = list(range(len(goroutines)))
+        rng.shuffle(order)
+        for index in order:
+            while try_advance(index):
+                progressed = True
+                steps += 1
+                if steps > limits.step_budget:
+                    return MatchResult(timed_out=True)
+
+    blocked: List[Tuple[str, str]] = []
+    for index, goroutine in enumerate(goroutines):
+        if diverted[index] or pointers[index] >= len(goroutine.ops):
+            continue
+        op = goroutine.ops[pointers[index]]
+        blocked.append((op.kind, op.loc))
+    return MatchResult(blocked=blocked)

@@ -1,0 +1,120 @@
+"""Tool evaluation harness: regenerates the precision shape of Table III.
+
+Runs each analyzer over the labeled corpus and scores every report against
+the construction-time (oracle-validated) ground truth.  GoLeak's row comes
+from actually executing the programs (a dynamic report is true by Fact 1);
+LeakProf's row is produced by the fleet benchmark, which mixes genuine
+leaks with transient congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from . import gcatch, goat, gomela
+from .common import Limits, Report
+from .oracle import execute
+from .programs import LabeledProgram
+
+
+@dataclass
+class ToolEvaluation:
+    """Scored output of one tool over the corpus."""
+
+    tool: str
+    reports: List[Report] = field(default_factory=list)
+    true_positives: int = 0
+    false_positives: int = 0
+    #: true leak sites the tool never reported (lower bound on FNs)
+    missed_leaks: int = 0
+
+    @property
+    def total_reports(self) -> int:
+        return len(self.reports)
+
+    @property
+    def precision(self) -> float:
+        if not self.reports:
+            return 0.0
+        return self.true_positives / len(self.reports)
+
+    @property
+    def recall(self) -> float:
+        found = self.true_positives
+        total = found + self.missed_leaks
+        return found / total if total else 0.0
+
+
+def _score(
+    tool: str, reports: List[Report], corpus: Sequence[LabeledProgram]
+) -> ToolEvaluation:
+    truth: Dict[str, set] = {
+        labeled.program.name: labeled.true_leaks for labeled in corpus
+    }
+    evaluation = ToolEvaluation(tool=tool, reports=reports)
+    reported_keys = set()
+    for report in reports:
+        reported_keys.add(report.key)
+        if report.loc in truth.get(report.program, set()):
+            evaluation.true_positives += 1
+        else:
+            evaluation.false_positives += 1
+    for labeled in corpus:
+        for loc in labeled.true_leaks:
+            if (labeled.program.name, loc) not in reported_keys:
+                evaluation.missed_leaks += 1
+    return evaluation
+
+
+#: The static analyzers under evaluation.
+STATIC_TOOLS: Dict[str, Callable] = {
+    "gcatch": lambda program, limits: gcatch.analyze(program, limits),
+    "goat": lambda program, limits: goat.analyze(program, limits),
+    "gomela": lambda program, limits: gomela.analyze(program),
+}
+
+
+def evaluate_static_tools(
+    corpus: Sequence[LabeledProgram], limits: Limits = None
+) -> Dict[str, ToolEvaluation]:
+    """Run GCatch/GOAT/Gomela analogs over the corpus and score them."""
+    limits = limits or Limits()
+    results: Dict[str, ToolEvaluation] = {}
+    for tool, runner in STATIC_TOOLS.items():
+        reports: List[Report] = []
+        for labeled in corpus:
+            reports.extend(runner(labeled.program, limits))
+        results[tool] = _score(tool, reports, corpus)
+    return results
+
+
+def evaluate_goleak(
+    corpus: Sequence[LabeledProgram], runs: int = 8
+) -> ToolEvaluation:
+    """GoLeak's dynamic vantage point: execute (test) each program.
+
+    Every reported location comes from an actually parked goroutine, so
+    precision is 100% by construction (Fact 1) — the paper's Table III
+    row.  Its misses are leaks the exercised schedules never trigger
+    (the test-coverage caveat of §III).
+    """
+    reports: List[Report] = []
+    seen = set()
+    for labeled in corpus:
+        for seed in range(runs):
+            result = execute(labeled.program, seed=seed)
+            for loc in result.leaked_locations:
+                key = (labeled.program.name, loc)
+                if key in seen:
+                    continue
+                seen.add(key)
+                reports.append(
+                    Report(
+                        tool="goleak",
+                        program=labeled.program.name,
+                        loc=loc,
+                        reason="goroutine lingered after test execution",
+                    )
+                )
+    return _score("goleak", reports, corpus)

@@ -1,0 +1,122 @@
+"""GOAT analog: localized abstract interpretation over channel groups.
+
+The paper (§II-B): GOAT "performs abstract interpretation ... constructing
+a least-fixpoint over conservative approximations of the program state",
+sharing GCatch's points-to front end and channel-grouping heuristics, with
+"issues with either precision or scaling".
+
+Our analog is path-sensitive for the entry (LCA) function but *abstracts
+each spawned goroutine to a multiset of its channel operations* — the
+flow-insensitive half of the abstraction.  Per parent path it solves a
+counting constraint system per channel:
+
+    blocked_sends  > 0   iff   sends  > receives + capacity   (no close)
+    blocked_recvs  > 0   iff   receives + ranges > sends + buffered, no close
+
+This catches unmatched ops without ever ordering child operations — and
+therefore misses order-dependent deadlocks while flagging some order-
+resolved ones (its own FP/FN profile, distinct from GCatch's).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from .common import Limits, Path, PathEnumerator, Report, flatten_scenarios
+from .ir import Program
+
+TOOL = "goat"
+
+
+def _op_multiset(path: Path) -> Counter:
+    """(kind, chan, loc) occurrence counts along one path."""
+    counts: Counter = Counter()
+    for op in path.ops:
+        kind = op.kind
+        if kind == "select":
+            if not op.alternatives and not op.has_default:
+                # select{}: unconditionally blocking in any abstraction
+                counts[("select_nocase", -1, op.loc)] += 1
+                continue
+            # abstract a select arm to its chosen primitive op; transient
+            # and default-bearing selects never block in this abstraction
+            if op.has_default or op.chan == -1:
+                continue
+            for alt_kind, alt_chan in op.alternatives:
+                if alt_chan == op.chan:
+                    kind = alt_kind
+                    break
+            else:
+                continue
+        counts[(kind, op.chan, op.loc)] += 1
+    return counts
+
+
+def analyze(program: Program, limits: Limits = None) -> List[Report]:
+    """Counting-constraint blocking check per parent path and channel."""
+    limits = limits or Limits()
+    enumerator = PathEnumerator(program, limits, follow_indirect=True)
+    parent_paths = enumerator.paths_of(program.entry)
+    capacities = enumerator.channels.capacities
+
+    reported: Set[str] = set()
+    reports: List[Report] = []
+    for parent in parent_paths:
+        for scenario in flatten_scenarios(parent, limits):
+            totals: Counter = Counter()
+            for goroutine in scenario:
+                totals.update(_op_multiset(goroutine))
+            _check_counts(
+                program, totals, capacities, reported, reports
+            )
+    return reports
+
+
+def _check_counts(
+    program: Program,
+    totals: Counter,
+    capacities: Dict[int, int],
+    reported: Set[str],
+    reports: List[Report],
+) -> None:
+    per_chan: Dict[int, Dict[str, List[Tuple[str, int]]]] = {}
+    for (kind, chan, loc), count in totals.items():
+        per_chan.setdefault(chan, {}).setdefault(kind, []).append((loc, count))
+
+    for chan, ops in per_chan.items():
+        for loc, _count in ops.get("select_nocase", ()):
+            _report(program, loc, "select with no cases blocks forever",
+                    reported, reports)
+        sends = sum(c for _l, c in ops.get("send", ()))
+        recvs = sum(c for _l, c in ops.get("recv", ()))
+        ranges = sum(c for _l, c in ops.get("range", ()))
+        closes = sum(c for _l, c in ops.get("close", ()))
+        capacity = capacities.get(chan, 0)
+
+        if sends > recvs + ranges * limits_range_budget() + capacity:
+            for loc, _count in ops.get("send", ()):
+                _report(program, loc, "sends exceed receives+capacity",
+                        reported, reports)
+        if closes == 0:
+            if ranges > 0 and sends >= 0:
+                for loc, _count in ops.get("range", ()):
+                    _report(program, loc, "range over never-closed channel",
+                            reported, reports)
+            if recvs > sends:
+                for loc, _count in ops.get("recv", ()):
+                    _report(program, loc, "receives exceed sends, no close",
+                            reported, reports)
+
+
+def limits_range_budget() -> int:
+    """How many sends one range loop is assumed to absorb."""
+    return 8
+
+
+def _report(program, loc, reason, reported, reports) -> None:
+    if loc in reported:
+        return
+    reported.add(loc)
+    reports.append(Report(tool=TOOL, program=program.name, loc=loc,
+                          reason=reason))

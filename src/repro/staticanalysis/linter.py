@@ -1,0 +1,100 @@
+"""The range linter of §VIII: lexically scoped channels ranged, never closed.
+
+The paper's first targeted static check born from the §VI-A findings:
+"a range linter that reports whether local, lexically scoped channels used
+with the range construct may never be closed".  Precise by design: it only
+fires when the channel is *local* to the function (not a parameter, never
+passed to an unknown callee) so every close site is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from .ir import (
+    Anon,
+    Call,
+    Close,
+    Direct,
+    ForRange,
+    FuncDef,
+    Go,
+    If,
+    Indirect,
+    Loop,
+    MakeChan,
+    Program,
+    SelectStmt,
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One range-over-possibly-unclosed-channel diagnostic."""
+
+    program: str
+    function: str
+    channel: str
+    range_loc: str
+
+
+def _walk(body, visit):
+    for stmt in body:
+        visit(stmt)
+        if isinstance(stmt, If):
+            _walk(stmt.then, visit)
+            _walk(stmt.orelse, visit)
+        elif isinstance(stmt, (Loop, ForRange)):
+            _walk(stmt.body, visit)
+        elif isinstance(stmt, SelectStmt):
+            for case in stmt.cases:
+                _walk(case.body, visit)
+            if stmt.default:
+                _walk(stmt.default, visit)
+        elif isinstance(stmt, (Go, Call)) and isinstance(stmt.callee, Anon):
+            _walk(stmt.callee.body, visit)
+
+
+def lint_function(program: Program, func: FuncDef) -> List[LintFinding]:
+    """Check one function for ranges over local never-closed channels."""
+    local_channels: Set[str] = set()
+    closed: Set[str] = set()
+    escaped: Set[str] = set()  # passed to named/unknown callees
+    ranges: List[Tuple[str, str]] = []
+
+    def visit(stmt):
+        if isinstance(stmt, MakeChan):
+            local_channels.add(stmt.var)
+        elif isinstance(stmt, Close):
+            closed.add(stmt.chan)
+        elif isinstance(stmt, ForRange):
+            ranges.append((stmt.chan, stmt.loc))
+        elif isinstance(stmt, (Go, Call)):
+            if isinstance(stmt.callee, (Direct, Indirect)):
+                escaped.update(stmt.args)
+
+    _walk(func.body, visit)
+    findings = []
+    for chan, loc in ranges:
+        if chan not in local_channels:
+            continue  # not lexically scoped here: out of the linter's remit
+        if chan in closed or chan in escaped:
+            continue  # a close exists, or the channel escapes analysis
+        findings.append(
+            LintFinding(
+                program=program.name,
+                function=func.name,
+                channel=chan,
+                range_loc=loc,
+            )
+        )
+    return findings
+
+
+def lint_program(program: Program) -> List[LintFinding]:
+    """Lint every function of a program."""
+    findings: List[LintFinding] = []
+    for func in program.funcs.values():
+        findings.extend(lint_function(program, func))
+    return findings

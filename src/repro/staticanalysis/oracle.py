@@ -1,0 +1,287 @@
+"""Ground truth for ChanLang programs: execute them on the CSP runtime.
+
+The oracle compiles a :class:`~repro.staticanalysis.ir.Program` into
+generator goroutines and runs it repeatedly with different seeds (so
+nondeterministic branches, select choices and dynamic dispatch explore
+different resolutions).  A blocking-op location that leaves a goroutine
+parked in *any* execution is a true leak site.
+
+This is exactly the dynamic vantage point GoLeak has — which is why the
+paper reports 100% precision for it: a dynamically observed lingering
+goroutine is, by Fact 1, really lingering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.runtime import Runtime
+from repro.runtime import ops as E
+from repro.runtime.errors import Panic
+
+from .ir import (
+    Alias,
+    Anon,
+    Call,
+    Close,
+    Direct,
+    DYNAMIC,
+    ForRange,
+    FuncDef,
+    Go,
+    If,
+    Indirect,
+    Loop,
+    MakeChan,
+    Program,
+    Recv,
+    Return,
+    SelectStmt,
+    Send,
+    Sleep,
+)
+
+
+class _Return(Exception):
+    """Internal control flow: unwind to the enclosing function frame."""
+
+
+class _Tracker:
+    """Records the op an interpreter goroutine last parked on."""
+
+    __slots__ = ("loc", "finished")
+
+    def __init__(self) -> None:
+        self.loc: Optional[str] = None
+        self.finished = False
+
+
+class _Execution:
+    """One run of a program under a specific seed."""
+
+    def __init__(self, program: Program, runtime: Runtime, rng: random.Random):
+        self.program = program
+        self.rt = runtime
+        self.rng = rng
+        self.trackers: List[_Tracker] = []
+        #: Branch decisions shared by correlated conditions (If.cond_id).
+        self.cond_values: Dict[str, bool] = {}
+
+    # -- callee resolution ---------------------------------------------------
+
+    def _resolve(self, callee, env):
+        if isinstance(callee, Direct):
+            func = self.program.func(callee.name)
+            return func.body, func.params
+        if isinstance(callee, Anon):
+            # closures capture the enclosing environment
+            return callee.body, None
+        if isinstance(callee, Indirect):
+            name = self.rng.choice(callee.candidates)
+            func = self.program.func(name)
+            return func.body, func.params
+        raise TypeError(f"unknown callee {callee!r}")
+
+    def _frame_env(self, params, args, env):
+        if params is None:  # anonymous closure: share the parent env
+            return env
+        return dict(zip(params, (env[a] for a in args)))
+
+    # -- the interpreter -----------------------------------------------------
+
+    def goroutine(self, body, env):
+        """Top-level goroutine body: tracks park locations for the oracle."""
+        tracker = _Tracker()
+        self.trackers.append(tracker)
+        try:
+            yield from self.block(body, env, tracker)
+        except _Return:
+            pass
+        tracker.finished = True
+
+    def block(self, body, env, tracker):
+        for stmt in body:
+            if isinstance(stmt, MakeChan):
+                capacity = stmt.capacity
+                if capacity == DYNAMIC:
+                    # runtime-sized buffers (make(chan T, len(items))) are
+                    # sized to demand: >= 1 in every real instantiation
+                    capacity = self.rng.randint(1, 3)
+                env[stmt.var] = self.rt.make_chan(capacity, label=stmt.var)
+            elif isinstance(stmt, Alias):
+                env[stmt.var] = env[stmt.of]
+            elif isinstance(stmt, Send):
+                tracker.loc = stmt.loc
+                yield E.send(env[stmt.chan], "msg")
+                tracker.loc = None
+            elif isinstance(stmt, Recv):
+                tracker.loc = stmt.loc
+                yield E.recv(env[stmt.chan])
+                tracker.loc = None
+            elif isinstance(stmt, Close):
+                try:
+                    env[stmt.chan].close()
+                except Panic:
+                    pass  # double close in a racy program: tolerated here
+            elif isinstance(stmt, Go):
+                child_body, params = self._resolve(stmt.callee, env)
+                child_env = self._frame_env(params, stmt.args, env)
+                yield E.go(
+                    self.goroutine, child_body, child_env,
+                    name=_callee_name(stmt.callee),
+                )
+            elif isinstance(stmt, Call):
+                child_body, params = self._resolve(stmt.callee, env)
+                child_env = self._frame_env(params, stmt.args, env)
+                try:
+                    yield from self.block(child_body, child_env, tracker)
+                except _Return:
+                    pass  # callee returned; caller continues
+            elif isinstance(stmt, If):
+                taken = self._branch(stmt)
+                yield from self.block(
+                    stmt.then if taken else stmt.orelse, env, tracker
+                )
+            elif isinstance(stmt, Loop):
+                for _ in range(stmt.times):
+                    yield from self.block(stmt.body, env, tracker)
+            elif isinstance(stmt, ForRange):
+                channel = env[stmt.chan]
+                while True:
+                    tracker.loc = stmt.loc
+                    _value, ok = yield E.recv_ok(channel)
+                    tracker.loc = None
+                    if not ok:
+                        break
+                    yield from self.block(stmt.body, env, tracker)
+            elif isinstance(stmt, SelectStmt):
+                yield from self._select(stmt, env, tracker)
+            elif isinstance(stmt, Return):
+                raise _Return()
+            elif isinstance(stmt, Sleep):
+                yield E.sleep(stmt.seconds)
+            else:
+                raise TypeError(f"unknown statement {stmt!r}")
+
+    def _branch(self, stmt: If) -> bool:
+        if stmt.cond_id is not None:
+            if stmt.cond_id not in self.cond_values:
+                self.cond_values[stmt.cond_id] = self.rng.random() < 0.5
+            return self.cond_values[stmt.cond_id]
+        return self.rng.random() < 0.5
+
+    def _select(self, stmt: SelectStmt, env, tracker):
+        cases = []
+        for case in stmt.cases:
+            if case.transient:
+                # time.Tick / ctx.Done analog: a timer channel that will
+                # deliver eventually, so this arm eventually unblocks.
+                channel = self.rt.after(self.rng.uniform(0.5, 2.0))
+                cases.append(E.case_recv(channel))
+            elif isinstance(case.op, Send):
+                cases.append(E.case_send(env[case.op.chan], "msg"))
+            else:
+                cases.append(E.case_recv(env[case.op.chan]))
+        tracker.loc = stmt.loc
+        index, _value = yield E.select(
+            *cases, default=stmt.default is not None
+        )
+        tracker.loc = None
+        if index == E.DEFAULT_CASE:
+            if stmt.default:
+                yield from self.block(stmt.default, env, tracker)
+        else:
+            yield from self.block(stmt.cases[index].body, env, tracker)
+
+
+def _callee_name(callee) -> str:
+    if isinstance(callee, Direct):
+        return callee.name
+    if isinstance(callee, Anon):
+        return callee.label
+    return "|".join(callee.candidates)
+
+
+@dataclass
+class ExecutionResult:
+    """What one seeded run of a program left behind."""
+
+    leaked_locations: Tuple[str, ...]
+    goroutines_spawned: int
+    steps: int
+
+    @property
+    def leaky(self) -> bool:
+        return bool(self.leaked_locations)
+
+
+def execute(
+    program: Program,
+    seed: int = 0,
+    deadline: float = 60.0,
+    max_steps: int = 200_000,
+) -> ExecutionResult:
+    """Run ``program`` once; report locations of leaked (parked) goroutines."""
+    rt = Runtime(seed=seed, panic_mode="record", name=program.name)
+    rng = random.Random(seed ^ 0x5EED)
+    execution = _Execution(program, rt, rng)
+    entry = program.func(program.entry)
+    rt.run(
+        execution.goroutine,
+        entry.body,
+        {},
+        deadline=deadline,
+        max_steps=max_steps,
+        detect_global_deadlock=False,
+    )
+    leaked = tuple(
+        sorted(
+            tracker.loc
+            for tracker in execution.trackers
+            if not tracker.finished and tracker.loc is not None
+        )
+    )
+    return ExecutionResult(
+        leaked_locations=leaked,
+        goroutines_spawned=rt.goroutines_spawned,
+        steps=rt.steps,
+    )
+
+
+@dataclass
+class OracleVerdict:
+    """Union of leaks over many seeded executions."""
+
+    program: str
+    leaky_locations: Set[str] = field(default_factory=set)
+    runs: int = 0
+
+    @property
+    def leaky(self) -> bool:
+        return bool(self.leaky_locations)
+
+
+def oracle(
+    program: Program,
+    runs: int = 16,
+    deadline: float = 60.0,
+    max_steps: int = 200_000,
+) -> OracleVerdict:
+    """Ground-truth label: a location is leaky if ANY execution parks there.
+
+    ``runs`` seeds explore nondeterministic branches, select choices and
+    dynamic dispatch.  For the small corpus programs (≤ a handful of
+    binary branches) 16 runs saturate the reachable behaviours with high
+    probability; construction-time labels in
+    :mod:`repro.staticanalysis.programs` cross-check this.
+    """
+    verdict = OracleVerdict(program=program.name)
+    for seed in range(runs):
+        result = execute(
+            program, seed=seed, deadline=deadline, max_steps=max_steps
+        )
+        verdict.leaky_locations.update(result.leaked_locations)
+        verdict.runs += 1
+    return verdict

@@ -1,0 +1,193 @@
+"""Synthetic monorepo statistics (Tables I-II) and CI simulation (Fig 5)."""
+
+import pytest
+
+from repro.corpus import (
+    generate_monorepo,
+    generate_package,
+    model,
+    scan_table1,
+    scan_table2,
+)
+from repro.devflow import (
+    CIPipeline,
+    PRGenerator,
+    projected_annual_prevention,
+    simulate,
+)
+from repro.goleak import SuppressionList
+
+
+@pytest.fixture(scope="module")
+def monorepo():
+    return generate_monorepo(scale=0.05, seed=7)
+
+
+class TestGenerator:
+    def test_group_counts_match_paper_ratios(self, monorepo):
+        rows = scan_table1(monorepo)
+        scale = rows["all"].packages / model.TOTAL_PACKAGES
+        assert rows["mp"].packages == pytest.approx(
+            model.MP_PACKAGES * scale, rel=0.02
+        )
+        assert rows["sm"].packages == pytest.approx(
+            model.SM_PACKAGES * scale, rel=0.02
+        )
+        assert rows["both"].packages == pytest.approx(
+            model.BOTH_PACKAGES * scale, rel=0.02
+        )
+
+    def test_mp_packages_have_features(self, monorepo):
+        mp = [p for p in monorepo if p.uses_message_passing]
+        assert all(p.features for p in mp)
+        non_mp = [p for p in monorepo if not p.uses_message_passing]
+        assert all(not p.features for p in non_mp)
+
+    def test_deterministic_under_seed(self):
+        a = generate_monorepo(scale=0.01, seed=3)
+        b = generate_monorepo(scale=0.01, seed=3)
+        assert [(p.name, p.group, p.source_eloc) for p in a] == [
+            (p.name, p.group, p.source_eloc) for p in b
+        ]
+
+    def test_single_package_sampling(self):
+        import random
+
+        package = generate_package("p", "mp", random.Random(1))
+        assert package.uses_message_passing
+        assert package.source_files >= 1
+
+
+class TestTable1:
+    def test_eloc_ratios_track_paper(self, monorepo):
+        rows = scan_table1(monorepo)
+        ours = rows["mp"].source_eloc / rows["all"].source_eloc
+        paper = (
+            model.TABLE1_FILES["mp"].source_eloc
+            / model.TABLE1_FILES["all"].source_eloc
+        )
+        assert ours == pytest.approx(paper, rel=0.25)
+
+    def test_tests_heavier_than_source_for_mp(self, monorepo):
+        """In the paper MP test ELoC (4.81M) exceeds source (3.39M)."""
+        rows = scan_table1(monorepo)
+        assert rows["mp"].test_eloc > rows["mp"].source_eloc
+
+
+class TestTable2:
+    def test_feature_totals_scale(self, monorepo):
+        summary = scan_table2(monorepo)
+        rows = scan_table1(monorepo)
+        scale = rows["mp"].packages / model.MP_PACKAGES
+        for feature, (paper_source, _paper_tests) in (
+            ("go_keyword", model.TABLE2_FEATURES["go_keyword"]),
+            ("sends", model.TABLE2_FEATURES["sends"]),
+            ("receives", model.TABLE2_FEATURES["receives"]),
+            ("chan_unbuffered", model.TABLE2_FEATURES["chan_unbuffered"]),
+        ):
+            ours, _ = summary.features[feature]
+            assert ours == pytest.approx(paper_source * scale, rel=0.15), feature
+
+    def test_paper_takeaway_unbuffered_channels_common(self, monorepo):
+        """Takeaway 4: unbuffered channels are the most common allocation."""
+        summary = scan_table2(monorepo)
+        unbuffered, _ = summary.features["chan_unbuffered"]
+        for other in ("chan_size1", "chan_const", "chan_dynamic"):
+            assert unbuffered > summary.features[other][0]
+
+    def test_paper_takeaway_wrappers_significant(self, monorepo):
+        """Takeaway 2: wrapper-based spawns are a large share in source."""
+        summary = scan_table2(monorepo)
+        go_kw, _ = summary.features["go_keyword"]
+        wrapper, _ = summary.features["go_wrapper"]
+        assert wrapper > 0.25 * go_kw
+
+    def test_select_case_statistics(self, monorepo):
+        summary = scan_table2(monorepo)
+        assert summary.select_case_p50 == (2, 2)
+        assert summary.select_case_p90 == (3, 2)
+        assert summary.select_case_mode == (2, 2)
+        assert summary.select_case_max[0] >= 4  # heavy tail exists
+
+    def test_goroutine_totals_are_sums(self, monorepo):
+        summary = scan_table2(monorepo)
+        go_kw = summary.features["go_keyword"]
+        wrapper = summary.features["go_wrapper"]
+        assert summary.goroutine_total == (
+            go_kw[0] + wrapper[0], go_kw[1] + wrapper[1]
+        )
+
+
+class TestCIPipeline:
+    def test_without_goleak_leaks_merge(self):
+        generator = PRGenerator(seed=1, prs_per_week=10, leak_rate=3.0)
+        pipeline = CIPipeline()
+        for pr in generator.week_of_prs(1):
+            assert pipeline.submit(pr)
+        assert len(pipeline.merged_leaks) > 0
+
+    def test_with_goleak_leaks_blocked(self):
+        generator = PRGenerator(seed=2, prs_per_week=10, leak_rate=3.0)
+        pipeline = CIPipeline()
+        pipeline.enable_goleak()
+        merged_leaks = 0
+        blocked = 0
+        for pr in generator.week_of_prs(1):
+            pr.critical = False  # no escape hatch in this test
+            if pipeline.submit(pr, seed=pr.pr_id):
+                merged_leaks += pr.introduces_leak
+            else:
+                blocked += 1
+        assert merged_leaks == 0
+        assert blocked > 0
+
+    def test_clean_prs_always_merge(self):
+        generator = PRGenerator(seed=3, prs_per_week=10, leak_rate=0.0)
+        pipeline = CIPipeline()
+        pipeline.enable_goleak()
+        for pr in generator.week_of_prs(1):
+            assert pipeline.submit(pr, seed=pr.pr_id)
+
+    def test_critical_pr_suppressed_through(self):
+        generator = PRGenerator(seed=4, prs_per_week=1, leak_rate=0.0)
+        pipeline = CIPipeline()
+        pipeline.enable_goleak()
+        pr = generator._make_pr(week=1, leaky=True, critical=True)
+        assert pipeline.submit(pr, seed=1)
+        assert len(pipeline.suppressions) > 0
+        assert pipeline.merged_leaks == [pr]
+
+
+class TestFig5Simulation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate(seed=3)
+
+    def test_pre_deployment_rate_matches_paper(self, result):
+        """Median ~5 new leaks/week over weeks 1-20 (§VI)."""
+        weekly = sorted(
+            w.leaks_merged for w in result.weeks if w.week <= 20
+        )
+        median = weekly[len(weekly) // 2]
+        assert 3 <= median <= 7
+
+    def test_migration_week_spike(self, result):
+        week21 = next(w for w in result.weeks if w.week == 21)
+        assert week21.leaks_merged >= 47
+
+    def test_post_deployment_near_zero(self, result):
+        for week in result.weeks:
+            if week.week >= 22:
+                assert week.leaks_merged <= 2  # only suppression escapes
+
+    def test_blocking_starts_at_deployment(self, result):
+        assert all(w.blocked == 0 for w in result.weeks if w.week < 22)
+        assert any(w.blocked > 0 for w in result.weeks if w.week >= 22)
+
+    def test_escapes_grow_suppression_list(self, result):
+        sizes = [w.suppression_size for w in result.weeks]
+        assert sizes[-1] >= result.initial_suppression_size
+        assert sizes == sorted(sizes)
+
+    def test_annual_projection(self):
+        assert projected_annual_prevention(5.0) == 260

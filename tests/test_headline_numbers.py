@@ -1,0 +1,145 @@
+"""The paper's headline numbers, asserted end-to-end at test scale.
+
+Full-scale versions live in benchmarks/ (one per table/figure); these are
+fast smoke checks that the headline claims hold together as a system.
+"""
+
+import functools
+
+import pytest
+
+from repro.devflow import projected_annual_prevention, simulate
+from repro.fleet import Fleet, RequestMix, Service, ServiceConfig, TrafficShape
+from repro.leakprof import LeakProf
+from repro.patterns import timeout_leak
+from repro.staticanalysis import build_corpus, evaluate_goleak, evaluate_static_tools
+
+MIB = 1024 * 1024
+
+
+class TestGoleakHeadlines:
+    """§I/§VI: 857 pre-existing leaks found, ~260/year prevented."""
+
+    def test_bootstrap_sizes(self):
+        result = simulate(seed=3, weeks=2)
+        assert result.initial_suppression_size == 1040
+        assert result.initial_partial_deadlocks == 857
+
+    def test_annual_prevention_estimate(self):
+        assert projected_annual_prevention() == 260
+
+    def test_gate_blocks_everything_not_suppressed(self):
+        result = simulate(seed=3)
+        post = [w for w in result.weeks if w.week >= 22]
+        assert sum(w.blocked for w in post) > 0
+        assert all(w.leaks_merged <= 2 for w in post)
+
+
+class TestLeakProfHeadlines:
+    """§I/§VII: 33 reports, 24 acknowledged, 21 fixed; 9.2x / 34% wins."""
+
+    def test_funnel_33_24_21(self):
+        """33 reports; owners acknowledge the 24 real ones and fix 21."""
+        from repro.patterns import congestion, premature_return
+        from repro.profiling import GoroutineProfile
+        from repro.runtime import Runtime
+
+        profiles = []
+        for index in range(24):  # genuinely leaking services
+            rt = Runtime(seed=index, name=f"leaky-{index}")
+            for _ in range(60):
+                rt.run(
+                    premature_return.leaky, rt, detect_global_deadlock=False
+                )
+            profiles.append(
+                GoroutineProfile.take(
+                    rt, service=f"leaky-{index}", instance="i"
+                )
+            )
+        for index in range(9):  # transient congestion (false positives)
+            rt = Runtime(seed=100 + index, name=f"cong-{index}")
+            rt.run(
+                functools.partial(congestion.burst_backlog, producers=80),
+                rt,
+                deadline=rt.now,
+                detect_global_deadlock=False,
+            )
+            profiles.append(
+                GoroutineProfile.take(
+                    rt, service=f"congested-{index}", instance="i"
+                )
+            )
+        leakprof = LeakProf(threshold=50, top_n=50)
+        result = leakprof.analyze_profiles(profiles)
+        assert len(result.new_reports) == 33
+        real = [
+            r
+            for r in result.new_reports
+            if r.candidate.service.startswith("leaky")
+        ]
+        assert len(real) == 24
+        for report in real:
+            leakprof.bug_db.acknowledge(report)
+        for report in real[:21]:
+            leakprof.bug_db.mark_fixed(report)
+        assert leakprof.bug_db.funnel() == {
+            "reported": 33,
+            "acknowledged": 24,
+            "fixed": 21,
+        }
+
+    def test_rss_reduction_mechanism(self):
+        """Small-scale Fig 1: fix deploy recovers ~all leaked memory."""
+        leaky = RequestMix().add(
+            "h", timeout_leak.leaky, weight=1.0, payload_bytes=256 * 1024
+        )
+        fixed = RequestMix().add(
+            "h", timeout_leak.fixed, weight=1.0, payload_bytes=256 * 1024
+        )
+        service = Service(
+            ServiceConfig(
+                name="S", mix=leaky, instances=2,
+                traffic=TrafficShape(requests_per_window=40),
+                base_rss=64 * MIB,
+            ),
+            seed=5,
+        )
+        fleet = Fleet().add(service)
+        for _ in range(6):
+            fleet.advance_window()
+        peak = service.peak_instance_rss()
+        assert peak > 2 * 64 * MIB  # leaked well past baseline
+        service.deploy(fixed)
+        assert all(i.rss() == 64 * MIB for i in service.instances)
+
+    def test_detection_precedes_fix(self):
+        leaky = RequestMix().add(
+            "h", timeout_leak.leaky, weight=1.0, payload_bytes=1024
+        )
+        service = Service(
+            ServiceConfig(
+                name="S", mix=leaky, instances=2,
+                traffic=TrafficShape(requests_per_window=60),
+            ),
+            seed=6,
+        )
+        fleet = Fleet().add(service)
+        for _ in range(4):
+            fleet.advance_window()
+        result = LeakProf(threshold=100).daily_run(fleet.all_instances())
+        assert len(result.new_reports) == 1
+        assert result.new_reports[0].candidate.peak_instance_count >= 100
+
+
+class TestTable3Headline:
+    def test_dynamic_beats_static(self):
+        corpus = build_corpus(scale=1)
+        static = evaluate_static_tools(corpus)
+        goleak_eval = evaluate_goleak(corpus, runs=4)
+        assert goleak_eval.precision == 1.0
+        assert all(e.precision < 0.6 for e in static.values())
+        assert (
+            static["gcatch"].precision
+            > static["goat"].precision
+            > static["gomela"].precision
+        )

@@ -1,0 +1,172 @@
+"""Leak pattern library: every listing leaks as the paper describes."""
+
+import pytest
+
+from repro.goleak import BlockType, classify, find
+from repro.patterns import (
+    PAPER_CAUSE_MIX,
+    PATTERNS,
+    by_category,
+    get,
+    healthy,
+    ncast,
+    premature_return,
+    timeout_leak,
+    timer_loop,
+    unclosed_range,
+)
+from repro.runtime import GoroutineState, Runtime
+
+
+def run_pattern(fn, seed=0, **params):
+    import functools
+
+    rt = Runtime(seed=seed)
+    body = functools.partial(fn, **params) if params else fn
+    result = rt.run(body, rt, deadline=5.0, detect_global_deadlock=False)
+    return rt, result
+
+
+class TestRegistry:
+    def test_all_leaky_patterns_leak_expected_count(self):
+        for name, pattern in PATTERNS.items():
+            rt, _ = run_pattern(pattern.leaky)
+            leaks = find(rt)
+            assert len(leaks) == pattern.leaks_per_call, name
+
+    def test_all_fixed_patterns_are_clean(self):
+        for name, pattern in PATTERNS.items():
+            if pattern.fixed is None:
+                continue
+            rt, stop = run_pattern(pattern.fixed)
+            if name == "timer_loop":
+                stop()
+                rt.advance(1.0)
+            assert find(rt) == [], name
+
+    def test_get_unknown_raises_with_names(self):
+        with pytest.raises(KeyError, match="premature_return"):
+            get("nonexistent")
+
+    def test_by_category_partitions(self):
+        names = set()
+        for category in ("send", "recv", "select"):
+            for pattern in by_category(category):
+                names.add(pattern.name)
+        assert names == set(PATTERNS)
+
+    def test_cause_mix_weights_sum_to_one(self):
+        for category, mix in PAPER_CAUSE_MIX.items():
+            total = sum(weight for _name, weight in mix)
+            assert total == pytest.approx(1.0, abs=0.01), category
+
+    def test_cause_mix_names_exist(self):
+        for mix in PAPER_CAUSE_MIX.values():
+            for name, _weight in mix:
+                assert name in PATTERNS
+
+
+class TestBlockCategories:
+    """Each pattern parks its leak in the paper's stated blocking state."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("premature_return", BlockType.CHAN_SEND),
+            ("timeout_leak", BlockType.CHAN_SEND),
+            ("ncast", BlockType.CHAN_SEND),
+            ("double_send", BlockType.CHAN_SEND),
+            ("unclosed_range", BlockType.CHAN_RECV),
+            ("contract_violation", BlockType.SELECT),
+            ("contract_violation_context", BlockType.SELECT),
+            ("nil_recv", BlockType.CHAN_RECV_NIL),
+            ("nil_send", BlockType.CHAN_SEND_NIL),
+            ("empty_select", BlockType.SELECT_NO_CASES),
+        ],
+    )
+    def test_block_type(self, name, expected):
+        rt, _ = run_pattern(PATTERNS[name].leaky)
+        types = {classify(record) for record in find(rt)}
+        assert types == {expected}
+
+
+class TestPatternBehaviour:
+    def test_premature_return_success_path_is_clean(self):
+        rt, (result, err) = run_pattern(premature_return.leaky, fail=False)
+        assert err is None
+        assert result == (100, "discount")
+        assert find(rt) == []
+
+    def test_timeout_leak_only_on_timeout_path(self):
+        # Worker faster than the deadline: no leak even in the buggy code.
+        rt, value = run_pattern(
+            timeout_leak.leaky, timeout=10.0, work_seconds=0.001
+        )
+        assert value == "item"
+        assert find(rt) == []
+
+    def test_ncast_leak_count_scales_with_items(self):
+        rt, first = run_pattern(ncast.leaky, n_items=10)
+        assert first == ("answer", 0)  # fastest backend wins
+        assert len(find(rt)) == 9
+
+    def test_ncast_single_item_does_not_leak(self):
+        rt, _ = run_pattern(ncast.leaky, n_items=1)
+        assert find(rt) == []
+
+    def test_unclosed_range_consumers_did_work_before_blocking(self):
+        rt, results = run_pattern(unclosed_range.leaky, items=(7, 8, 9))
+        assert sorted(results) == [7, 8, 9]  # items were processed...
+        assert len(find(rt)) == 3  # ...but the workers leaked anyway
+
+    def test_timer_loop_burns_cpu_over_time(self):
+        rt, _ = run_pattern(timer_loop.leaky, period=0.5)
+        before = rt.cpu_seconds
+        rt.advance(50.0)
+        after = rt.cpu_seconds
+        expected_wakeups = 50.0 / 0.5
+        assert after - before == pytest.approx(
+            expected_wakeups * timer_loop.REPORT_CPU_SECONDS, rel=0.1
+        )
+
+    def test_timer_loop_goroutine_survives_indefinitely(self):
+        rt, _ = run_pattern(timer_loop.leaky)
+        rt.advance(1000.0)
+        assert rt.num_goroutines == 1
+
+    def test_leak_payload_pins_memory(self):
+        rt, _ = run_pattern(
+            PATTERNS["timeout_leak"].leaky, payload_bytes=1 << 20
+        )
+        assert rt.rss() - rt.base_rss >= (1 << 20)
+
+    def test_repeated_invocations_accumulate(self):
+        """The production mechanism: every buggy request adds a goroutine."""
+        rt = Runtime(seed=4)
+        for _ in range(50):
+            rt.run(
+                premature_return.leaky, rt,
+                detect_global_deadlock=False,
+            )
+        assert rt.num_goroutines == 50
+        leaks = find(rt)
+        locations = {record.blocking_location for record in leaks}
+        assert len(locations) == 1  # all at the same send
+
+
+class TestHealthyPatterns:
+    @pytest.mark.parametrize(
+        "fn,expected",
+        [
+            (healthy.fan_out_fan_in, [0, 2, 4, 6, 8, 10, 12, 14]),
+            (healthy.request_response, "pong"),
+            (healthy.waitgroup_barrier, [0, 1, 2, 3, 4, 5]),
+            (healthy.bounded_timeout, "done"),
+            (healthy.ticker_with_stop, 3),
+        ],
+    )
+    def test_healthy_runs_clean(self, fn, expected):
+        rt, result = run_pattern(fn)
+        assert result == expected
+        assert find(rt) == []
+        assert rt.rss() == rt.base_rss

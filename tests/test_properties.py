@@ -1,0 +1,291 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin down the substrate guarantees everything else relies on:
+channel FIFO and conservation, capacity bounds, RSS accounting,
+select-with-default non-blocking, goleak/Fact-1 agreement, scheduler
+determinism, and the statistics helpers.
+"""
+
+import functools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import mode, percentile, rms, summarize
+from repro.goleak import find
+from repro.patterns import PATTERNS
+from repro.profiling import GoroutineProfile, dump_text, parse_text
+from repro.runtime import (
+    DEFAULT_CASE,
+    GoroutineState,
+    Payload,
+    Runtime,
+    case_recv,
+    go,
+    recv,
+    recv_ok,
+    select,
+    send,
+    sleep,
+)
+
+small_ints = st.integers(min_value=0, max_value=50)
+
+
+class TestChannelProperties:
+    @given(
+        values=st.lists(st.integers(), min_size=1, max_size=30),
+        capacity=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_and_conservation(self, values, capacity, seed):
+        """Everything sent is received, exactly once, in send order."""
+        received = []
+
+        def main(rt):
+            ch = rt.make_chan(capacity)
+
+            def producer():
+                for value in values:
+                    yield send(ch, value)
+                ch.close()
+
+            yield go(producer)
+            while True:
+                value, ok = yield recv_ok(ch)
+                if not ok:
+                    break
+                received.append(value)
+
+        rt = Runtime(seed=seed)
+        rt.run(main, rt)
+        assert received == values
+        assert rt.num_goroutines == 0
+
+    @given(
+        capacity=st.integers(min_value=0, max_value=6),
+        n_senders=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_buffer_never_exceeds_capacity(self, capacity, n_senders, seed):
+        observed = []
+
+        def main(rt):
+            ch = rt.make_chan(capacity)
+
+            def sender(i):
+                yield send(ch, i)
+
+            for i in range(n_senders):
+                yield go(sender, i)
+            for _ in range(n_senders):
+                observed.append(len(ch.buffer))
+                yield recv(ch)
+
+        rt = Runtime(seed=seed)
+        rt.run(main, rt)
+        assert all(size <= capacity for size in observed)
+        assert rt.num_goroutines == 0
+
+    @given(
+        n_blocked=st.integers(min_value=1, max_value=20),
+        payload=st.integers(min_value=0, max_value=1 << 16),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rss_accounts_every_leaked_sender(self, n_blocked, payload, seed):
+        """RSS = base + N x (stack + payload) for N leaked senders."""
+
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def leaker():
+                yield send(ch, Payload("x", payload))
+
+            for _ in range(n_blocked):
+                yield go(leaker)
+
+        rt = Runtime(seed=seed)
+        rt.run(main, rt)
+        expected = rt.base_rss + n_blocked * (
+            rt.default_stack_bytes + payload
+        )
+        assert rt.rss() == expected
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_select_with_default_never_blocks(self, seed):
+        def main(rt):
+            ch = rt.make_chan(0)
+            results = []
+            for _ in range(5):
+                index, _ = yield select(case_recv(ch), default=True)
+                results.append(index)
+            return results
+
+        rt = Runtime(seed=seed)
+        assert rt.run(main, rt) == [DEFAULT_CASE] * 5
+        assert rt.num_goroutines == 0
+
+
+class TestGoleakProperties:
+    @given(
+        draws=st.lists(
+            st.sampled_from(sorted(PATTERNS)), min_size=1, max_size=6
+        ),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fact1_leak_count_is_sum_of_pattern_leaks(self, draws, seed):
+        """goleak finds exactly the leaks the workload created (Fact 1)."""
+        rt = Runtime(seed=seed)
+        expected = 0
+        for name in draws:
+            pattern = PATTERNS[name]
+            rt.run(
+                pattern.leaky, rt,
+                deadline=rt.now + 10.0, detect_global_deadlock=False,
+            )
+            expected += pattern.leaks_per_call
+        leaks = find(rt)
+        assert len(leaks) == expected
+
+    @given(
+        draws=st.lists(
+            st.sampled_from(
+                [n for n, p in PATTERNS.items() if p.fixed is not None]
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_variants_never_leak(self, draws, seed):
+        rt = Runtime(seed=seed)
+        stops = []
+        for name in draws:
+            result = rt.run(
+                PATTERNS[name].fixed, rt,
+                deadline=rt.now + 10.0, detect_global_deadlock=False,
+            )
+            if name == "timer_loop":
+                stops.append(result)
+        for stop in stops:
+            stop()
+        rt.advance(10.0)
+        assert find(rt) == []
+
+
+class TestDeterminismProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_workers=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_trace(self, seed, n_workers):
+        def run_once():
+            order = []
+
+            def main(rt):
+                ch = rt.make_chan(0)
+
+                def worker(i):
+                    yield sleep(0.1 * (i % 4))
+                    yield send(ch, i)
+
+                for i in range(n_workers):
+                    yield go(worker, i)
+                for _ in range(n_workers):
+                    order.append((yield recv(ch)))
+
+            rt = Runtime(seed=seed)
+            rt.run(main, rt)
+            return order, rt.steps, rt.now
+
+        assert run_once() == run_once()
+
+
+class TestProfileProperties:
+    @given(
+        n_leaks=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pprof_text_roundtrip_preserves_grouping(self, n_leaks, seed):
+        rt = Runtime(seed=seed)
+        for _ in range(n_leaks):
+            rt.run(
+                PATTERNS["premature_return"].leaky, rt,
+                detect_global_deadlock=False,
+            )
+        profile = GoroutineProfile.take(rt, service="svc", instance="i")
+        parsed = parse_text(dump_text(profile))
+        assert parsed.group_by_location() == profile.group_by_location()
+        assert len(parsed) == len(profile)
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=100))
+    @settings(max_examples=100)
+    def test_rms_bounds(self, values):
+        """mean <= rms <= max for non-negative inputs."""
+        mean = sum(values) / len(values)
+        value = rms(values)
+        assert value >= mean - 1e-6
+        assert value <= max(values) + 1e-6
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_percentile_properties(self, values):
+        p0 = percentile(values, 0)
+        p50 = percentile(values, 50)
+        p100 = percentile(values, 100)
+        assert p0 == min(values)
+        assert p100 == max(values)
+        assert p0 <= p50 <= p100
+        assert p50 in values
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                    max_size=100))
+    @settings(max_examples=100)
+    def test_mode_is_a_maximal_element(self, values):
+        best = mode(values)
+        assert values.count(best) == max(values.count(v) for v in set(values))
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50)
+    def test_summarize_consistency(self, values):
+        stats = summarize(values)
+        assert stats["min"] <= stats["p50"] <= stats["max"]
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+
+class TestOracleProperties:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_execute_is_deterministic(self, seed):
+        from repro.staticanalysis import LEAKY_TEMPLATES, execute
+
+        program = LEAKY_TEMPLATES["ncast"]().program
+        first = execute(program, seed=seed)
+        second = execute(program, seed=seed)
+        assert first.leaked_locations == second.leaked_locations
+        assert first.steps == second.steps
+
+    @given(
+        workers=st.integers(min_value=1, max_value=5),
+        items=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unclosed_range_leaks_exactly_workers(self, workers, items):
+        from repro.staticanalysis import oracle
+        from repro.staticanalysis.programs import unclosed_range
+
+        labeled = unclosed_range(workers=workers, items=items)
+        verdict = oracle(labeled.program, runs=4)
+        assert verdict.leaky_locations == labeled.true_leaks

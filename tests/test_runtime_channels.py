@@ -1,0 +1,378 @@
+"""Channel semantics: rendezvous, buffering, close, nil channels, panics."""
+
+import pytest
+
+from repro.runtime import (
+    Channel,
+    CloseOfClosedChannel,
+    CloseOfNilChannel,
+    GlobalDeadlock,
+    GoroutineState,
+    NIL_CHANNEL,
+    Payload,
+    Runtime,
+    SendOnClosedChannel,
+    chan_range,
+    go,
+    recv,
+    recv_ok,
+    send,
+    sleep,
+)
+
+
+def run_main(fn, *args, seed=0, **kwargs):
+    rt = Runtime(seed=seed)
+    result = rt.run(fn, rt, *args, **kwargs)
+    return rt, result
+
+
+class TestUnbuffered:
+    def test_send_then_recv_rendezvous(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def sender():
+                yield send(ch, 42)
+
+            yield go(sender)
+            value = yield recv(ch)
+            return value
+
+        _, result = run_main(main)
+        assert result == 42
+
+    def test_recv_blocks_until_sender_arrives(self):
+        order = []
+
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def sender():
+                yield sleep(1.0)
+                order.append("send")
+                yield send(ch, "late")
+
+            yield go(sender)
+            order.append("recv-start")
+            value = yield recv(ch)
+            order.append("recv-done")
+            return value
+
+        rt, result = run_main(main)
+        assert result == "late"
+        assert order == ["recv-start", "send", "recv-done"]
+        assert rt.now == pytest.approx(1.0)
+
+    def test_sender_blocks_without_receiver(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def sender():
+                yield send(ch, 1)
+
+            yield go(sender)
+            # main returns without receiving: the sender leaks.
+
+        rt, _ = run_main(main)
+        leaked = rt.live_goroutines()
+        assert len(leaked) == 1
+        assert leaked[0].state is GoroutineState.BLOCKED_SEND
+
+    def test_values_delivered_in_fifo_order(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            received = []
+
+            def sender(i):
+                yield send(ch, i)
+
+            for i in range(5):
+                yield go(sender, i)
+            for _ in range(5):
+                received.append((yield recv(ch)))
+            return received
+
+        _, result = run_main(main)
+        assert result == [0, 1, 2, 3, 4]
+
+
+class TestBuffered:
+    def test_send_does_not_block_until_full(self):
+        def main(rt):
+            ch = rt.make_chan(2)
+            yield send(ch, 1)
+            yield send(ch, 2)
+            return len(ch)
+
+        _, result = run_main(main)
+        assert result == 2
+
+    def test_send_blocks_when_full(self):
+        def main(rt):
+            ch = rt.make_chan(1)
+            yield send(ch, 1)
+
+            def overflow():
+                yield send(ch, 2)
+
+            yield go(overflow)
+            yield sleep(0.1)  # let the child run and block
+            return [g.state for g in rt.live_goroutines() if not g.is_main]
+
+        _, states = run_main(main)
+        assert states == [GoroutineState.BLOCKED_SEND]
+
+    def test_buffered_values_drain_fifo(self):
+        def main(rt):
+            ch = rt.make_chan(3)
+            for i in range(3):
+                yield send(ch, i)
+            out = []
+            for _ in range(3):
+                out.append((yield recv(ch)))
+            return out
+
+        _, result = run_main(main)
+        assert result == [0, 1, 2]
+
+    def test_recv_unblocks_parked_sender(self):
+        def main(rt):
+            ch = rt.make_chan(1)
+            yield send(ch, "a")
+
+            def second_sender():
+                yield send(ch, "b")
+
+            yield go(second_sender)
+            first = yield recv(ch)
+            second = yield recv(ch)
+            return first, second
+
+        rt, result = run_main(main)
+        assert result == ("a", "b")
+        assert rt.num_goroutines == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(-1)
+
+
+class TestClose:
+    def test_recv_on_closed_returns_zero_and_not_ok(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            value, ok = yield recv_ok(ch)
+            return value, ok
+
+        _, result = run_main(main)
+        assert result == (None, False)
+
+    def test_close_drains_buffer_first(self):
+        def main(rt):
+            ch = rt.make_chan(2)
+            yield send(ch, 1)
+            yield send(ch, 2)
+            ch.close()
+            a = yield recv(ch)
+            b = yield recv(ch)
+            c, ok = yield recv_ok(ch)
+            return a, b, c, ok
+
+        _, result = run_main(main)
+        assert result == (1, 2, None, False)
+
+    def test_close_wakes_parked_receivers(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            results = rt.make_chan(3)
+
+            def receiver():
+                value, ok = yield recv_ok(ch)
+                yield send(results, (value, ok))
+
+            for _ in range(3):
+                yield go(receiver)
+            yield sleep(0.1)
+            ch.close()
+            out = []
+            for _ in range(3):
+                out.append((yield recv(results)))
+            return out
+
+        rt, result = run_main(main)
+        assert result == [(None, False)] * 3
+        assert rt.num_goroutines == 0
+
+    def test_send_on_closed_channel_panics(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            yield send(ch, 1)
+
+        with pytest.raises(SendOnClosedChannel):
+            run_main(main)
+
+    def test_close_panics_parked_sender(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def sender():
+                yield send(ch, 1)
+
+            yield go(sender)
+            yield sleep(0.1)
+            ch.close()
+
+        with pytest.raises(SendOnClosedChannel):
+            run_main(main)
+
+    def test_close_of_closed_panics(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            ch.close()
+            yield sleep(0)
+
+        with pytest.raises(CloseOfClosedChannel):
+            run_main(main)
+
+    def test_panic_recoverable_in_goroutine(self):
+        """``recover()`` analog: user code catches the panic exception."""
+
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            try:
+                yield send(ch, 1)
+            except SendOnClosedChannel:
+                return "recovered"
+
+        _, result = run_main(main)
+        assert result == "recovered"
+
+
+class TestNilChannel:
+    def test_send_on_nil_blocks_forever(self):
+        def main(rt):
+            def sender():
+                yield send(NIL_CHANNEL, 1)
+
+            yield go(sender)
+            yield sleep(1.0)
+
+        rt, _ = run_main(main)
+        leaked = rt.live_goroutines()
+        assert [g.state for g in leaked] == [GoroutineState.BLOCKED_SEND]
+
+    def test_recv_on_nil_blocks_forever(self):
+        def main(rt):
+            def receiver():
+                yield recv(NIL_CHANNEL)
+
+            yield go(receiver)
+            yield sleep(1.0)
+
+        rt, _ = run_main(main)
+        assert [g.state for g in rt.live_goroutines()] == [
+            GoroutineState.BLOCKED_RECV
+        ]
+
+    def test_nil_blocking_main_is_global_deadlock(self):
+        def main(rt):
+            yield recv(NIL_CHANNEL)
+
+        with pytest.raises(GlobalDeadlock):
+            run_main(main)
+
+    def test_close_of_nil_panics(self):
+        with pytest.raises(CloseOfNilChannel):
+            NIL_CHANNEL.close()
+
+    def test_nil_is_nil(self):
+        assert NIL_CHANNEL.is_nil
+        assert not Channel(0).is_nil
+
+
+class TestChanRange:
+    def test_range_consumes_until_close(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            seen = []
+
+            def producer():
+                for i in range(4):
+                    yield send(ch, i)
+                ch.close()
+
+            yield go(producer)
+            yield from chan_range(ch, seen.append)
+            return seen
+
+        rt, result = run_main(main)
+        assert result == [0, 1, 2, 3]
+        assert rt.num_goroutines == 0
+
+    def test_range_over_unclosed_channel_leaks(self):
+        """Paper Listing 3: consumers block forever without close."""
+
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def consumer():
+                yield from chan_range(ch, lambda item: None)
+
+            for _ in range(3):
+                yield go(consumer)
+            for i in range(5):
+                yield send(ch, i)
+            # missing ch.close()
+
+        rt, _ = run_main(main)
+        leaked = rt.live_goroutines()
+        assert len(leaked) == 3
+        assert all(g.state is GoroutineState.BLOCKED_RECV for g in leaked)
+
+
+class TestMemoryAccounting:
+    def test_leaked_sender_pins_payload(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def sender():
+                yield send(ch, Payload("big", 1 << 20))
+
+            yield go(sender)
+
+        rt, _ = run_main(main)
+        extra = rt.rss() - rt.base_rss
+        assert extra >= (1 << 20)  # payload plus goroutine stack
+
+    def test_buffered_payload_counts_until_received(self):
+        def main(rt):
+            ch = rt.make_chan(1)
+            yield send(ch, Payload("buf", 4096))
+            mid = rt.rss()
+            yield recv(ch)
+            return mid
+
+        rt, mid_rss = run_main(main)
+        assert mid_rss - rt.base_rss >= 4096
+        assert rt.rss() == rt.base_rss  # main done, nothing retained
+
+    def test_finished_goroutines_release_everything(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def pair(i):
+                yield send(ch, Payload(i, 1024))
+
+            for i in range(10):
+                yield go(pair, i)
+            for _ in range(10):
+                yield recv(ch)
+
+        rt, _ = run_main(main)
+        assert rt.num_goroutines == 0
+        assert rt.rss() == rt.base_rss

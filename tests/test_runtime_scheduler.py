@@ -1,0 +1,360 @@
+"""Scheduler behaviour: virtual clock, timers, deadlock detection, stacks."""
+
+import pytest
+
+from repro.runtime import (
+    GlobalDeadlock,
+    GoroutineState,
+    Panic,
+    Runtime,
+    SchedulerExhausted,
+    burn,
+    capture_stack,
+    go,
+    gosched,
+    park,
+    recv,
+    select,
+    send,
+    sleep,
+)
+from repro.runtime.ops import case_recv
+
+
+class TestVirtualClock:
+    def test_sleep_advances_clock(self):
+        rt = Runtime()
+
+        def main(rt):
+            yield sleep(2.5)
+
+        rt.run(main, rt)
+        assert rt.now == pytest.approx(2.5)
+
+    def test_sleeps_run_concurrently(self):
+        rt = Runtime()
+
+        def main(rt):
+            def sleeper():
+                yield sleep(3.0)
+
+            for _ in range(10):
+                yield go(sleeper)
+            yield sleep(3.0)
+
+        rt.run(main, rt)
+        assert rt.now == pytest.approx(3.0)  # parallel, not 33s
+
+    def test_zero_sleep_is_noop(self):
+        rt = Runtime()
+
+        def main(rt):
+            yield sleep(0)
+
+        rt.run(main, rt)
+        assert rt.now == 0.0
+
+    def test_after_fires_at_deadline(self):
+        rt = Runtime()
+
+        def main(rt):
+            ch = rt.after(1.5)
+            stamp = yield recv(ch)
+            return stamp
+
+        stamp = rt.run(main, rt)
+        assert stamp == pytest.approx(1.5)
+
+    def test_tick_delivers_repeatedly(self):
+        rt = Runtime()
+
+        def main(rt):
+            ch = rt.tick(1.0)
+            stamps = []
+            for _ in range(3):
+                stamps.append((yield recv(ch)))
+            return stamps
+
+        stamps = rt.run(main, rt, deadline=10.0)
+        assert stamps == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_ticker_drops_ticks_when_full(self):
+        rt = Runtime()
+
+        def main(rt):
+            ch = rt.tick(1.0)
+            yield sleep(5.0)  # 5 ticks elapse; only 1 buffered
+            first = yield recv(ch)
+            return first, len(ch)
+
+        first, buffered = rt.run(main, rt, deadline=20.0)
+        assert first == pytest.approx(1.0)
+        assert buffered == 0
+
+    def test_stopped_ticker_stops(self):
+        rt = Runtime()
+
+        def main(rt):
+            ticker = rt.new_ticker(1.0)
+            yield recv(ticker.channel)
+            ticker.stop()
+            yield sleep(5.0)
+            return len(ticker.channel)
+
+        buffered = rt.run(main, rt)
+        assert buffered == 0
+
+    def test_advance_runs_timers_within_window(self):
+        rt = Runtime()
+        fired = []
+        rt.call_later(1.0, lambda: fired.append(1))
+        rt.call_later(5.0, lambda: fired.append(5))
+        rt.advance(2.0)
+        assert fired == [1]
+        assert rt.now == pytest.approx(2.0)
+        rt.advance(4.0)
+        assert fired == [1, 5]
+
+    def test_cancelled_timer_does_not_fire(self):
+        rt = Runtime()
+        fired = []
+        timer = rt.call_later(1.0, lambda: fired.append(1))
+        timer.cancel()
+        rt.advance(2.0)
+        assert fired == []
+
+
+class TestDeadlockDetection:
+    def test_all_blocked_raises_global_deadlock(self):
+        rt = Runtime()
+
+        def main(rt):
+            ch = rt.make_chan(0)
+            yield recv(ch)  # nobody will ever send
+
+        with pytest.raises(GlobalDeadlock):
+            rt.run(main, rt)
+
+    def test_partial_deadlock_is_not_fatal(self):
+        rt = Runtime()
+
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def child():
+                yield recv(ch)
+
+            yield go(child)
+            # main returns; child leaks -> partial, not global, deadlock
+
+        rt.run(main, rt)
+        assert rt.num_goroutines == 1
+
+    def test_io_wait_suppresses_fatal_check(self):
+        """Go's detector ignores goroutines in syscalls/netpoll."""
+        rt = Runtime()
+
+        def main(rt):
+            def io_bound():
+                yield park("io_wait")
+
+            yield go(io_bound)
+            ch = rt.make_chan(0)
+
+            def child():
+                yield recv(ch)
+
+            yield go(child)
+            yield sleep(0.1)
+
+        rt.run(main, rt)  # must not raise
+        states = sorted(g.state.value for g in rt.live_goroutines())
+        assert states == ["chan receive", "io_wait"]
+
+    def test_timed_park_wakes(self):
+        rt = Runtime()
+
+        def main(rt):
+            yield park("syscall", duration=2.0)
+            return "back"
+
+        assert rt.run(main, rt) == "back"
+        assert rt.now == pytest.approx(2.0)
+
+    def test_unknown_park_reason_rejected(self):
+        rt = Runtime()
+
+        def main(rt):
+            yield park("napping")
+
+        with pytest.raises(ValueError):
+            rt.run(main, rt)
+
+
+class TestSchedulerMechanics:
+    def test_spawn_requires_generator(self):
+        rt = Runtime()
+
+        def not_a_generator(rt):
+            return 42
+
+        with pytest.raises(TypeError):
+            rt.run(not_a_generator, rt)
+
+    def test_max_steps_guard(self):
+        rt = Runtime()
+
+        def main(rt):
+            while True:
+                yield gosched()
+
+        with pytest.raises(SchedulerExhausted):
+            rt.run(main, rt, max_steps=1000)
+
+    def test_panic_mode_record_collects_panics(self):
+        rt = Runtime(panic_mode="record")
+
+        def main(rt):
+            def bomber():
+                ch = rt.make_chan(0)
+                ch.close()
+                yield send(ch, 1)
+
+            yield go(bomber)
+            yield sleep(0.1)
+            return "survived"
+
+        assert rt.run(main, rt) == "survived"
+        assert len(rt.panics) == 1
+        goro, exc = rt.panics[0]
+        assert "closed channel" in str(exc)
+
+    def test_user_panic_propagates(self):
+        rt = Runtime()
+
+        def main(rt):
+            yield sleep(0)
+            raise Panic("boom")
+
+        with pytest.raises(Panic, match="boom"):
+            rt.run(main, rt)
+
+    def test_burn_accumulates_cpu_seconds(self):
+        rt = Runtime()
+
+        def main(rt):
+            yield burn(0.25)
+            yield burn(0.75)
+
+        rt.run(main, rt)
+        assert rt.cpu_seconds == pytest.approx(1.0)
+
+    def test_goroutine_counters(self):
+        rt = Runtime()
+
+        def main(rt):
+            def child():
+                yield sleep(0.1)
+
+            for _ in range(4):
+                yield go(child)
+            yield sleep(1.0)
+
+        rt.run(main, rt)
+        assert rt.goroutines_spawned == 5  # 4 children + main
+        assert rt.goroutines_finished == 5
+        assert rt.num_goroutines == 0
+
+    def test_run_is_reusable(self):
+        rt = Runtime()
+
+        def main(rt):
+            yield sleep(1.0)
+            return rt.now
+
+        assert rt.run(main, rt) == pytest.approx(1.0)
+        assert rt.run(main, rt) == pytest.approx(2.0)  # clock persists
+
+    def test_determinism_across_identical_runtimes(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            out = []
+
+            def worker(i):
+                yield sleep(0.1 * (i % 3))
+                yield send(ch, i)
+
+            for i in range(20):
+                yield go(worker, i)
+            for _ in range(20):
+                out.append((yield recv(ch)))
+            return out
+
+        def one_run():
+            rt = Runtime(seed=42)
+            return rt.run(main, rt)
+
+        assert one_run() == one_run()
+
+
+class TestStackCapture:
+    def test_blocked_stack_has_leaf_first(self):
+        rt = Runtime()
+
+        def inner(ch):
+            yield send(ch, "x")  # <- blocking site (leaf)
+
+        def outer(ch):
+            yield from inner(ch)
+
+        def main(rt):
+            ch = rt.make_chan(0)
+            yield go(outer, ch, name="leaker")
+            yield sleep(0.1)
+
+        rt.run(main, rt)
+        (leaked,) = rt.live_goroutines()
+        frames = leaked.stack()
+        assert frames[0].function.endswith("inner")
+        assert frames[-1].function.endswith("outer")
+
+    def test_creation_context_recorded(self):
+        rt = Runtime()
+
+        def child():
+            yield send(rt.make_chan(0), 1)
+
+        def main(rt):
+            yield go(child)
+            yield sleep(0.1)
+
+        rt.run(main, rt)
+        (leaked,) = rt.live_goroutines()
+        assert leaked.creation_ctx is not None
+        assert "main" in leaked.creation_ctx.function
+
+    def test_blocking_frame_location_is_stable(self):
+        rt = Runtime()
+
+        def child(ch):
+            yield send(ch, 1)
+
+        def main(rt):
+            ch = rt.make_chan(0)
+            yield go(child, ch)
+            yield go(child, ch)
+            yield sleep(0.1)
+
+        rt.run(main, rt)
+        locs = {g.blocking_frame().location for g in rt.live_goroutines()}
+        assert len(locs) == 1  # both blocked at the same source line
+
+    def test_capture_stack_of_running_generator(self):
+        def gen():
+            yield 1
+
+        g = gen()
+        next(g)
+        frames = capture_stack(g)
+        assert len(frames) == 1
+        assert frames[0].function.endswith("gen")

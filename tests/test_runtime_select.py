@@ -1,0 +1,255 @@
+"""Select-statement semantics: readiness, default, fairness, parking."""
+
+import pytest
+
+from repro.runtime import (
+    DEFAULT_CASE,
+    GoroutineState,
+    NIL_CHANNEL,
+    Runtime,
+    SendOnClosedChannel,
+    case_recv,
+    case_recv_ok,
+    case_send,
+    go,
+    recv,
+    select,
+    send,
+    sleep,
+)
+
+
+def run_main(fn, *args, seed=0):
+    rt = Runtime(seed=seed)
+    result = rt.run(fn, rt, *args)
+    return rt, result
+
+
+class TestReadyArms:
+    def test_single_ready_recv_arm_fires(self):
+        def main(rt):
+            a = rt.make_chan(1)
+            b = rt.make_chan(1)
+            yield send(a, "A")
+            idx, val = yield select(case_recv(a), case_recv(b))
+            return idx, val
+
+        _, result = run_main(main)
+        assert result == (0, "A")
+
+    def test_single_ready_send_arm_fires(self):
+        def main(rt):
+            a = rt.make_chan(0)  # no receiver: not ready
+            b = rt.make_chan(1)  # buffer space: ready
+            idx, val = yield select(case_send(a, 1), case_send(b, 2))
+            received = yield recv(b)
+            return idx, val, received
+
+        _, result = run_main(main)
+        assert result == (1, None, 2)
+
+    def test_recv_ok_arm_reports_close(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            idx, (val, ok) = yield select(case_recv_ok(ch))
+            return idx, val, ok
+
+        _, result = run_main(main)
+        assert result == (0, None, False)
+
+    def test_multiple_ready_arms_random_choice_is_seeded(self):
+        def main(rt):
+            a = rt.make_chan(1)
+            b = rt.make_chan(1)
+            yield send(a, "A")
+            yield send(b, "B")
+            picks = []
+            for _ in range(2):
+                idx, _ = yield select(case_recv(a), case_recv(b))
+                picks.append(idx)
+            return picks
+
+        _, picks_seed_0 = run_main(main, seed=0)
+        _, picks_again = run_main(main, seed=0)
+        assert picks_seed_0 == picks_again  # deterministic under a seed
+        assert sorted(picks_seed_0) == [0, 1]  # both arms eventually drain
+
+    def test_choice_distribution_covers_all_arms(self):
+        """Across seeds, a 2-ready-arm select picks each arm sometimes."""
+        first_picks = set()
+        for seed in range(20):
+            def main(rt):
+                a = rt.make_chan(1)
+                b = rt.make_chan(1)
+                yield send(a, 1)
+                yield send(b, 2)
+                idx, _ = yield select(case_recv(a), case_recv(b))
+                return idx
+
+            _, idx = run_main(main, seed=seed)
+            first_picks.add(idx)
+        assert first_picks == {0, 1}
+
+
+class TestDefaultArm:
+    def test_default_fires_when_nothing_ready(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            idx, val = yield select(case_recv(ch), default=True)
+            return idx, val
+
+        _, result = run_main(main)
+        assert result == (DEFAULT_CASE, None)
+
+    def test_default_skipped_when_arm_ready(self):
+        def main(rt):
+            ch = rt.make_chan(1)
+            yield send(ch, 9)
+            idx, val = yield select(case_recv(ch), default=True)
+            return idx, val
+
+        _, result = run_main(main)
+        assert result == (0, 9)
+
+
+class TestBlockingSelect:
+    def test_parks_until_an_arm_fires(self):
+        def main(rt):
+            a = rt.make_chan(0)
+            b = rt.make_chan(0)
+
+            def sender():
+                yield sleep(1.0)
+                yield send(b, "wake")
+
+            yield go(sender)
+            idx, val = yield select(case_recv(a), case_recv(b))
+            return idx, val
+
+        rt, result = run_main(main)
+        assert result == (1, "wake")
+        assert rt.num_goroutines == 0
+
+    def test_sibling_waiters_cancelled_after_fire(self):
+        def main(rt):
+            a = rt.make_chan(0)
+            b = rt.make_chan(0)
+
+            def sender_b():
+                yield sleep(1.0)
+                yield send(b, "first")
+
+            yield go(sender_b)
+            idx, val = yield select(case_recv(a), case_recv(b))
+            # The waiter left on `a` must be stale now: a fresh sender on
+            # `a` should NOT find a receiver.
+            def sender_a():
+                yield send(a, "second")
+
+            yield go(sender_a)
+            yield sleep(1.0)
+            stuck = [
+                g
+                for g in rt.live_goroutines()
+                if g.state is GoroutineState.BLOCKED_SEND
+            ]
+            return idx, val, len(stuck)
+
+        _, result = run_main(main)
+        assert result == (1, "first", 1)
+
+    def test_select_send_arm_parks_and_completes(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def receiver():
+                yield sleep(0.5)
+                value = yield recv(ch)
+                assert value == "pushed"
+
+            yield go(receiver)
+            idx, val = yield select(case_send(ch, "pushed"))
+            return idx, val
+
+        rt, result = run_main(main)
+        assert result == (0, None)
+        assert rt.num_goroutines == 0
+
+    def test_zero_case_select_blocks_forever(self):
+        def main(rt):
+            def stuck():
+                yield select()
+
+            yield go(stuck)
+            yield sleep(1.0)
+
+        rt, _ = run_main(main)
+        assert [g.state for g in rt.live_goroutines()] == [
+            GoroutineState.BLOCKED_SELECT
+        ]
+
+    def test_nil_arms_are_never_ready(self):
+        def main(rt):
+            live = rt.make_chan(1)
+            yield send(live, "only")
+            idx, val = yield select(case_recv(NIL_CHANNEL), case_recv(live))
+            return idx, val
+
+        _, result = run_main(main)
+        assert result == (1, "only")
+
+    def test_all_nil_arms_blocks_forever(self):
+        def main(rt):
+            def stuck():
+                yield select(case_recv(NIL_CHANNEL), case_send(NIL_CHANNEL, 1))
+
+            yield go(stuck)
+            yield sleep(1.0)
+
+        rt, _ = run_main(main)
+        assert [g.state for g in rt.live_goroutines()] == [
+            GoroutineState.BLOCKED_SELECT
+        ]
+
+
+class TestSelectPanics:
+    def test_ready_send_on_closed_panics(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            yield select(case_send(ch, 1))
+
+        with pytest.raises(SendOnClosedChannel):
+            run_main(main)
+
+    def test_close_panics_parked_select_sender(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def selector():
+                yield select(case_send(ch, 1))
+
+            yield go(selector)
+            yield sleep(0.1)
+            ch.close()
+
+        with pytest.raises(SendOnClosedChannel):
+            run_main(main)
+
+    def test_close_wakes_parked_select_receiver(self):
+        def main(rt):
+            ch = rt.make_chan(0)
+
+            def selector(out):
+                idx, (val, ok) = yield select(case_recv_ok(ch))
+                yield send(out, (idx, val, ok))
+
+            out = rt.make_chan(1)
+            yield go(selector, out)
+            yield sleep(0.1)
+            ch.close()
+            return (yield recv(out))
+
+        _, result = run_main(main)
+        assert result == (0, None, False)

@@ -1,0 +1,369 @@
+"""sync-package analogs: WaitGroup, Mutex, Semaphore, Cond, Once; context."""
+
+import pytest
+
+from repro.runtime import (
+    Cond,
+    GoroutineState,
+    Mutex,
+    Once,
+    Panic,
+    Runtime,
+    Semaphore,
+    WaitGroup,
+    go,
+    recv,
+    select,
+    send,
+    sleep,
+)
+from repro.runtime import context as goctx
+from repro.runtime.ops import case_recv
+
+
+class TestWaitGroup:
+    def test_wait_returns_when_counter_zero(self):
+        rt = Runtime()
+
+        def main(rt):
+            wg = WaitGroup()
+            done = []
+
+            def worker(i):
+                yield sleep(0.5)
+                done.append(i)
+                wg.done()
+
+            wg.add(3)
+            for i in range(3):
+                yield go(worker, i)
+            yield wg.wait()
+            return sorted(done)
+
+        assert rt.run(main, rt) == [0, 1, 2]
+
+    def test_wait_with_zero_counter_is_immediate(self):
+        rt = Runtime()
+
+        def main(rt):
+            wg = WaitGroup()
+            yield wg.wait()
+            return "instant"
+
+        assert rt.run(main, rt) == "instant"
+        assert rt.now == 0.0
+
+    def test_missing_done_leaks_waiter(self):
+        rt = Runtime()
+
+        def main(rt):
+            wg = WaitGroup()
+            wg.add(1)
+
+            def waiter():
+                yield wg.wait()
+
+            yield go(waiter)
+            yield sleep(0.1)
+            # main exits; the worker never calls done()
+
+        rt.run(main, rt)
+        assert [g.state for g in rt.live_goroutines()] == [
+            GoroutineState.SEMACQUIRE
+        ]
+
+    def test_negative_counter_panics(self):
+        wg = WaitGroup()
+        with pytest.raises(Panic):
+            wg.done()
+
+
+class TestMutex:
+    def test_mutual_exclusion(self):
+        rt = Runtime()
+
+        def main(rt):
+            mu = Mutex()
+            trace = []
+
+            def critical(name):
+                yield mu.lock()
+                trace.append(f"{name}-in")
+                yield sleep(1.0)
+                trace.append(f"{name}-out")
+                mu.unlock()
+
+            yield go(critical, "a")
+            yield go(critical, "b")
+            yield sleep(5.0)
+            return trace
+
+        trace = rt.run(main, rt)
+        assert trace in (
+            ["a-in", "a-out", "b-in", "b-out"],
+            ["b-in", "b-out", "a-in", "a-out"],
+        )
+
+    def test_unlock_of_unlocked_panics(self):
+        with pytest.raises(Panic):
+            Mutex().unlock()
+
+    def test_fifo_handoff(self):
+        rt = Runtime()
+
+        def main(rt):
+            mu = Mutex()
+            order = []
+            yield mu.lock()
+
+            def waiter(i):
+                yield mu.lock()
+                order.append(i)
+                mu.unlock()
+
+            for i in range(3):
+                yield go(waiter, i)
+                yield sleep(0.1)  # deterministic arrival order
+            mu.unlock()
+            yield sleep(1.0)
+            return order
+
+        assert rt.run(main, rt) == [0, 1, 2]
+
+
+class TestSemaphore:
+    def test_tokens_bound_concurrency(self):
+        rt = Runtime()
+
+        def main(rt):
+            sem = Semaphore(2)
+            peak = [0]
+            active = [0]
+
+            def job():
+                yield sem.acquire()
+                active[0] += 1
+                peak[0] = max(peak[0], active[0])
+                yield sleep(1.0)
+                active[0] -= 1
+                sem.release()
+
+            for _ in range(6):
+                yield go(job)
+            yield sleep(10.0)
+            return peak[0]
+
+        assert rt.run(main, rt) == 2
+
+    def test_release_hands_token_to_waiter(self):
+        rt = Runtime()
+
+        def main(rt):
+            sem = Semaphore(0)
+
+            def blocked():
+                yield sem.acquire()
+                return "got it"
+
+            yield go(blocked)
+            yield sleep(0.1)
+            children = [g for g in rt.live_goroutines() if not g.is_main]
+            assert children[0].state is GoroutineState.SEMACQUIRE
+            sem.release()
+            yield sleep(0.1)
+            return sem.available
+
+        assert rt.run(main, rt) == 0  # token was consumed by the waiter
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+
+class TestCond:
+    def test_wait_signal_roundtrip(self):
+        rt = Runtime()
+
+        def main(rt):
+            mu = Mutex()
+            cond = Cond(mu)
+            state = {"ready": False}
+
+            def waiter(out):
+                yield mu.lock()
+                while not state["ready"]:
+                    yield from cond.wait()
+                mu.unlock()
+                yield send(out, "woke")
+
+            out = rt.make_chan(1)
+            yield go(waiter, out)
+            yield sleep(0.5)
+            yield mu.lock()
+            state["ready"] = True
+            cond.signal()
+            mu.unlock()
+            return (yield recv(out))
+
+        assert rt.run(main, rt) == "woke"
+
+    def test_broadcast_wakes_all(self):
+        rt = Runtime()
+
+        def main(rt):
+            mu = Mutex()
+            cond = Cond(mu)
+            woke = []
+
+            def waiter(i):
+                yield mu.lock()
+                yield from cond.wait()
+                mu.unlock()
+                woke.append(i)
+
+            for i in range(3):
+                yield go(waiter, i)
+            yield sleep(0.5)
+            cond.broadcast()
+            yield sleep(0.5)
+            return sorted(woke)
+
+        assert rt.run(main, rt) == [0, 1, 2]
+
+    def test_forgotten_signal_leaks_cond_waiter(self):
+        rt = Runtime()
+
+        def main(rt):
+            mu = Mutex()
+            cond = Cond(mu)
+
+            def waiter():
+                yield mu.lock()
+                yield from cond.wait()
+
+            yield go(waiter)
+            yield sleep(0.5)
+
+        rt.run(main, rt)
+        assert [g.state for g in rt.live_goroutines()] == [
+            GoroutineState.COND_WAIT
+        ]
+
+
+class TestOnce:
+    def test_runs_exactly_once(self):
+        rt = Runtime()
+
+        def main(rt):
+            once = Once()
+            count = [0]
+
+            def init():
+                count[0] += 1
+
+            yield from once.do(init)
+            yield from once.do(init)
+            yield sleep(0)
+            return count[0]
+
+        assert rt.run(main, rt) == 1
+
+    def test_generator_body_delegated(self):
+        rt = Runtime()
+
+        def main(rt):
+            once = Once()
+            marks = []
+
+            def init():
+                yield sleep(1.0)
+                marks.append("done")
+
+            yield from once.do(init)
+            return marks, rt.now
+
+        marks, now = rt.run(main, rt)
+        assert marks == ["done"]
+        assert now == pytest.approx(1.0)
+
+
+class TestContext:
+    def test_with_cancel_closes_done(self):
+        rt = Runtime()
+
+        def main(rt):
+            ctx, cancel = goctx.with_cancel(goctx.background(rt))
+
+            def listener(out):
+                idx, _ = yield select(case_recv(ctx.done()))
+                yield send(out, "cancelled")
+
+            out = rt.make_chan(1)
+            yield go(listener, out)
+            yield sleep(0.5)
+            cancel()
+            return (yield recv(out)), ctx.err()
+
+        result, err = rt.run(main, rt)
+        assert result == "cancelled"
+        assert err == goctx.CANCELED
+
+    def test_with_timeout_fires_deadline(self):
+        rt = Runtime()
+
+        def main(rt):
+            ctx, _cancel = goctx.with_timeout(goctx.background(rt), 2.0)
+            idx, _ = yield select(case_recv(ctx.done()))
+            return rt.now, ctx.err()
+
+        now, err = rt.run(main, rt)
+        assert now == pytest.approx(2.0)
+        assert err == goctx.DEADLINE_EXCEEDED
+
+    def test_cancel_before_timeout_wins(self):
+        rt = Runtime()
+
+        def main(rt):
+            ctx, cancel = goctx.with_timeout(goctx.background(rt), 100.0)
+            cancel()
+            yield sleep(0)
+            return ctx.err()
+
+        assert rt.run(main, rt) == goctx.CANCELED
+
+    def test_cancel_propagates_to_children(self):
+        rt = Runtime()
+
+        def main(rt):
+            parent, cancel = goctx.with_cancel(goctx.background(rt))
+            child, _ = goctx.with_cancel(parent)
+            grandchild, _ = goctx.with_timeout(child, 1e9)
+            cancel()
+            yield sleep(0)
+            return child.err(), grandchild.err()
+
+        assert rt.run(main, rt) == (goctx.CANCELED, goctx.CANCELED)
+
+    def test_background_never_cancels(self):
+        rt = Runtime()
+
+        def main(rt):
+            ctx = goctx.background(rt)
+            idx, _ = yield select(case_recv(ctx.done()), default=True)
+            return idx
+
+        from repro.runtime import DEFAULT_CASE
+
+        assert rt.run(main, rt) == DEFAULT_CASE
+
+    def test_double_cancel_is_idempotent(self):
+        rt = Runtime()
+
+        def main(rt):
+            ctx, cancel = goctx.with_cancel(goctx.background(rt))
+            cancel()
+            cancel()
+            yield sleep(0)
+            return ctx.err()
+
+        assert rt.run(main, rt) == goctx.CANCELED

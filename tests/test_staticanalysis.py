@@ -1,0 +1,281 @@
+"""ChanLang IR, oracle, analyzers, linter, and the Table III evaluation."""
+
+import pytest
+
+from repro.staticanalysis import (
+    HEALTHY_TEMPLATES,
+    LEAKY_TEMPLATES,
+    Limits,
+    Program,
+    build_corpus,
+    evaluate_goleak,
+    evaluate_static_tools,
+    execute,
+    gcatch,
+    goat,
+    gomela,
+    lint_program,
+    oracle,
+)
+from repro.staticanalysis.ir import (
+    Anon,
+    Call,
+    Close,
+    Direct,
+    ForRange,
+    FuncDef,
+    Go,
+    If,
+    Loop,
+    MakeChan,
+    Recv,
+    Return,
+    SelectCaseIR,
+    SelectStmt,
+    Send,
+)
+from repro.staticanalysis.programs import DEFAULT_CORPUS_WEIGHTS
+
+
+class TestOracle:
+    @pytest.mark.parametrize("template", sorted(LEAKY_TEMPLATES))
+    def test_leaky_templates_match_labels(self, template):
+        labeled = LEAKY_TEMPLATES[template]()
+        verdict = oracle(labeled.program, runs=16)
+        assert verdict.leaky_locations == labeled.true_leaks
+
+    @pytest.mark.parametrize("template", sorted(HEALTHY_TEMPLATES))
+    def test_healthy_templates_are_clean(self, template):
+        labeled = HEALTHY_TEMPLATES[template]()
+        verdict = oracle(labeled.program, runs=16)
+        assert verdict.leaky_locations == set()
+
+    def test_execute_reports_spawn_and_step_counts(self):
+        labeled = LEAKY_TEMPLATES["ncast"](n=5)
+        result = execute(labeled.program, seed=0)
+        assert result.goroutines_spawned == 6  # main + 5 backends
+        assert result.steps > 0
+        assert result.leaky
+
+    def test_correlated_branches_never_leak_at_runtime(self):
+        """cond_id correlation is honored by the executor."""
+        labeled = HEALTHY_TEMPLATES["correlated_branches"]()
+        for seed in range(32):
+            assert not execute(labeled.program, seed=seed).leaky
+
+    def test_dynamic_buffer_sized_to_demand(self):
+        labeled = HEALTHY_TEMPLATES["dynamic_buffer"]()
+        for seed in range(16):
+            assert not execute(labeled.program, seed=seed).leaky
+
+
+class TestGCatch:
+    def test_finds_premature_return(self):
+        labeled = LEAKY_TEMPLATES["premature_return"]()
+        locs = {r.loc for r in gcatch.analyze(labeled.program)}
+        assert labeled.true_leaks <= locs
+
+    def test_false_positive_on_correlated_branches(self):
+        """The documented imprecision: branch correlation is ignored."""
+        labeled = HEALTHY_TEMPLATES["correlated_branches"]()
+        assert gcatch.analyze(labeled.program)  # spurious reports
+
+    def test_false_positive_on_dynamic_buffer(self):
+        labeled = HEALTHY_TEMPLATES["dynamic_buffer"]()
+        locs = {r.loc for r in gcatch.analyze(labeled.program)}
+        assert locs  # conservative capacity-0 for make(chan T, n)
+
+    def test_false_negative_on_deep_wrappers(self):
+        """Spawns beyond the inline budget are silently dropped."""
+        labeled = LEAKY_TEMPLATES["wrapped_leak"](depth=6)
+        locs = {r.loc for r in gcatch.analyze(labeled.program)}
+        assert not (labeled.true_leaks & locs)
+
+    def test_shallow_wrappers_within_budget_found(self):
+        labeled = LEAKY_TEMPLATES["wrapped_leak"](name="shallow", depth=1)
+        locs = {r.loc for r in gcatch.analyze(labeled.program)}
+        assert labeled.true_leaks <= locs
+
+    def test_clean_on_healthy_pipeline(self):
+        labeled = HEALTHY_TEMPLATES["healthy_pipeline"]()
+        assert gcatch.analyze(labeled.program) == []
+
+
+class TestGoat:
+    def test_finds_ncast(self):
+        labeled = LEAKY_TEMPLATES["ncast"]()
+        locs = {r.loc for r in goat.analyze(labeled.program)}
+        assert labeled.true_leaks <= locs
+
+    def test_reports_both_sends_of_double_send(self):
+        """Counting abstraction can't tell which send blocks: extra FP."""
+        labeled = LEAKY_TEMPLATES["double_send"]()
+        locs = {r.loc for r in goat.analyze(labeled.program)}
+        assert len(locs) >= 2
+
+    def test_detects_empty_select(self):
+        labeled = LEAKY_TEMPLATES["empty_select"]()
+        locs = {r.loc for r in goat.analyze(labeled.program)}
+        assert labeled.true_leaks <= locs
+
+    def test_range_without_close_reported(self):
+        labeled = LEAKY_TEMPLATES["unclosed_range"]()
+        locs = {r.loc for r in goat.analyze(labeled.program)}
+        assert labeled.true_leaks <= locs
+
+    def test_closed_range_not_reported(self):
+        labeled = HEALTHY_TEMPLATES["healthy_pipeline"]()
+        assert goat.analyze(labeled.program) == []
+
+
+class TestGomela:
+    def test_blindsided_by_dynamic_dispatch(self):
+        labeled = LEAKY_TEMPLATES["dispatch_leak"]()
+        locs = {r.loc for r in gomela.analyze(labeled.program)}
+        assert not (labeled.true_leaks & locs)
+
+    def test_false_positive_on_hidden_helper_partner(self):
+        labeled = HEALTHY_TEMPLATES["helper_hidden_partner"]()
+        assert gomela.analyze(labeled.program)
+
+    def test_false_positive_on_caller_side_stop(self):
+        labeled = HEALTHY_TEMPLATES["lib_worker_lifecycle"]()
+        locs = {r.loc for r in gomela.analyze(labeled.program)}
+        assert any("select" in loc for loc in locs)
+
+    def test_finds_intraprocedural_leaks(self):
+        labeled = LEAKY_TEMPLATES["premature_return"]()
+        locs = {r.loc for r in gomela.analyze(labeled.program)}
+        assert labeled.true_leaks <= locs
+
+    def test_step_budget_abandons_models(self):
+        """The 60-second SPIN timeout analog: tiny budgets yield silence."""
+        labeled = LEAKY_TEMPLATES["ncast"](n=3)
+        reports = gomela.analyze(labeled.program, step_budget=1, runs=1)
+        assert reports == []
+
+
+class TestLinter:
+    def test_flags_unclosed_local_range(self):
+        labeled = LEAKY_TEMPLATES["unclosed_range"]()
+        findings = lint_program(labeled.program)
+        assert len(findings) == 1
+        assert findings[0].channel == "ch"
+
+    def test_quiet_when_close_exists(self):
+        labeled = HEALTHY_TEMPLATES["healthy_pipeline"]()
+        assert lint_program(labeled.program) == []
+
+    def test_quiet_when_channel_escapes(self):
+        """Channels passed to named callees are out of the linter's remit."""
+        program = Program(name="escapes")
+        program.add(
+            FuncDef("helper", params=("c",), body=(Close("c"),))
+        )
+        program.add(
+            FuncDef(
+                "main",
+                body=(
+                    MakeChan("ch", 0),
+                    Go(Anon((ForRange("ch", (), "escapes:range"),), "w")),
+                    Call(Direct("helper"), args=("ch",)),
+                ),
+            )
+        )
+        assert lint_program(program) == []
+
+    def test_quiet_on_non_local_range(self):
+        program = Program(name="param_range")
+        program.add(
+            FuncDef(
+                "consume",
+                params=("c",),
+                body=(ForRange("c", (), "param_range:range"),),
+            )
+        )
+        program.add(
+            FuncDef(
+                "main",
+                body=(
+                    MakeChan("ch", 0),
+                    Go(Direct("consume"), args=("ch",)),
+                    Close("ch"),
+                ),
+            )
+        )
+        assert lint_program(program) == []
+
+
+class TestTable3Evaluation:
+    """The precision shape of Table III (see bench_table3_tools.py)."""
+
+    @pytest.fixture(scope="class")
+    def evaluations(self):
+        corpus = build_corpus()
+        results = evaluate_static_tools(corpus)
+        results["goleak"] = evaluate_goleak(corpus, runs=6)
+        return results
+
+    def test_goleak_precision_is_total(self, evaluations):
+        assert evaluations["goleak"].precision == 1.0
+
+    def test_precision_ordering_matches_paper(self, evaluations):
+        """GCatch 51% > GOAT 47% > Gomela 34%; all far below GoLeak."""
+        gc = evaluations["gcatch"].precision
+        gt = evaluations["goat"].precision
+        gm = evaluations["gomela"].precision
+        assert gc > gt > gm
+        assert gm < 0.45  # clearly the noisiest
+        assert gc < 0.65  # clearly unusable vs goleak's 100%
+
+    def test_precision_within_paper_bands(self, evaluations):
+        assert evaluations["gcatch"].precision == pytest.approx(0.51, abs=0.06)
+        assert evaluations["goat"].precision == pytest.approx(0.47, abs=0.06)
+        assert evaluations["gomela"].precision == pytest.approx(0.34, abs=0.06)
+
+    def test_every_tool_reports_something(self, evaluations):
+        for evaluation in evaluations.values():
+            assert evaluation.total_reports > 0
+
+    def test_corpus_weights_cover_all_templates(self):
+        assert set(DEFAULT_CORPUS_WEIGHTS) == (
+            set(LEAKY_TEMPLATES) | set(HEALTHY_TEMPLATES)
+        )
+
+
+class TestPathEnumeratorEdgeCases:
+    def test_loop_unroll_budget_truncates(self):
+        from repro.staticanalysis.common import Limits, PathEnumerator
+
+        program = Program(name="bigloop")
+        program.add(
+            FuncDef(
+                "main",
+                body=(
+                    MakeChan("ch", 0),
+                    Loop(100, (Send("ch", "bigloop:send"),)),
+                ),
+            )
+        )
+        enumerator = PathEnumerator(program, Limits(unroll=2))
+        paths = enumerator.paths_of("main")
+        assert enumerator.truncated
+        assert max(len(p.ops) for p in paths) == 2
+
+    def test_return_terminates_path(self):
+        from repro.staticanalysis.common import Limits, PathEnumerator
+
+        program = Program(name="early")
+        program.add(
+            FuncDef(
+                "main",
+                body=(
+                    MakeChan("ch", 0),
+                    If(then=(Return(),)),
+                    Recv("ch", "early:recv"),
+                ),
+            )
+        )
+        paths = PathEnumerator(program, Limits()).paths_of("main")
+        op_counts = sorted(len(p.ops) for p in paths)
+        assert op_counts == [0, 1]  # return path has no recv

@@ -1,0 +1,178 @@
+"""Wrapper spawns: safe_go and ErrGroup, and their visibility to the tools."""
+
+import pytest
+
+from repro.goleak import find, verify_none
+from repro.leakprof import scan_profile
+from repro.profiling import GoroutineProfile
+from repro.runtime import (
+    GoroutineState,
+    Panic,
+    Runtime,
+    go,
+    recv,
+    send,
+    sleep,
+)
+from repro.runtime.wrappers import ErrGroup, safe_go
+
+
+class TestSafeGo:
+    def test_runs_the_child(self):
+        rt = Runtime()
+        seen = []
+
+        def child(value):
+            yield sleep(0.1)
+            seen.append(value)
+
+        def main(rt):
+            yield safe_go(child, 42)
+            yield sleep(1.0)
+
+        rt.run(main, rt)
+        assert seen == [42]
+
+    def test_swallows_panics(self):
+        rt = Runtime()
+        caught = []
+
+        def bomber():
+            ch = rt.make_chan(0)
+            ch.close()
+            yield send(ch, 1)  # send on closed channel: panics
+
+        def main(rt):
+            yield safe_go(bomber, on_panic=caught.append)
+            yield sleep(0.5)
+            return "alive"
+
+        assert rt.run(main, rt) == "alive"
+        assert len(caught) == 1
+        assert "closed channel" in str(caught[0])
+
+    def test_wrapper_spawned_leak_still_visible_to_goleak(self):
+        """The paper's point: dynamic tools see through wrappers."""
+        rt = Runtime()
+
+        def leaker(ch):
+            yield send(ch, "stuck")
+
+        def main(rt):
+            ch = rt.make_chan(0)
+            yield safe_go(leaker, ch)
+
+        rt.run(main, rt)
+        leaks = find(rt)
+        assert len(leaks) == 1
+        assert leaks[0].state is GoroutineState.BLOCKED_SEND
+        # leakprof groups it by the real blocking site inside the wrapper
+        profile = GoroutineProfile.take(rt, service="s", instance="i")
+        suspects = scan_profile(profile, threshold=1)
+        assert len(suspects) == 1
+        assert "test_wrappers.py" in suspects[0].location
+
+
+class TestErrGroup:
+    def test_wait_gathers_all_tasks(self):
+        rt = Runtime()
+        done = []
+
+        def task(i):
+            yield sleep(0.1 * i)
+            done.append(i)
+            return None
+
+        def main(rt):
+            group = ErrGroup()
+            for i in range(4):
+                yield group.go(task, i)
+            err = yield from group.wait()
+            return err
+
+        assert rt.run(main, rt) is None
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_first_error_wins(self):
+        rt = Runtime()
+
+        def ok():
+            yield sleep(0.3)
+            return None
+
+        def fails_fast():
+            yield sleep(0.1)
+            return "task exploded"
+
+        def main(rt):
+            group = ErrGroup()
+            yield group.go(ok)
+            yield group.go(fails_fast)
+            return (yield from group.wait())
+
+        assert rt.run(main, rt) == "task exploded"
+
+    def test_panic_becomes_error(self):
+        rt = Runtime()
+
+        def bomber():
+            yield sleep(0)
+            raise Panic("kaboom")
+
+        def main(rt):
+            group = ErrGroup()
+            yield group.go(bomber)
+            return (yield from group.wait())
+
+        assert rt.run(main, rt) == "kaboom"
+
+    def test_empty_group_wait_is_instant(self):
+        rt = Runtime()
+
+        def main(rt):
+            group = ErrGroup()
+            err = yield from group.wait()
+            return err, group.launched
+
+        assert rt.run(main, rt) == (None, 0)
+        assert rt.now == 0.0
+
+    def test_group_does_not_cancel_leaked_siblings(self):
+        """errgroup has no cancellation: a blocked task leaks through it,
+        and main blocked on wait() shows as semacquire — the wrapper-shaped
+        leak the paper's §VI-B 'API misuse' bucket describes."""
+        rt = Runtime()
+
+        def stuck(ch):
+            yield recv(ch)  # no sender: blocks forever
+
+        def parent(rt):
+            ch = rt.make_chan(0)
+            group = ErrGroup()
+            yield group.go(stuck, ch)
+            yield from group.wait()
+
+        def main(rt):
+            yield go(parent, rt)
+            yield sleep(1.0)
+
+        rt.run(main, rt)
+        states = sorted(g.state.value for g in rt.live_goroutines())
+        assert states == ["chan receive", "semacquire"]
+        assert len(find(rt)) == 2
+
+    def test_clean_group_verifies(self):
+        rt = Runtime()
+
+        def task():
+            yield sleep(0.1)
+            return None
+
+        def main(rt):
+            group = ErrGroup()
+            for _ in range(3):
+                yield group.go(task)
+            yield from group.wait()
+
+        rt.run(main, rt)
+        verify_none(rt)
