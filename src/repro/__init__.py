@@ -11,7 +11,9 @@ Subpackages:
 * :mod:`repro.staticanalysis` — GCatch/GOAT/Gomela-style baselines + linter.
 * :mod:`repro.fleet` — microservice fleet simulator (RSS/CPU models).
 * :mod:`repro.corpus` — synthetic monorepo feature statistics.
-* :mod:`repro.devflow` — CI pipeline simulation (PR gating).
+* :mod:`repro.devflow` — CI pipeline simulation (PR gating + fix gate).
+* :mod:`repro.remedy` — automated leak triage & remediation engine
+  (detect → diagnose → fix → verify → rollout).
 * :mod:`repro.analysis` — small statistics helpers (RMS, percentiles).
 
 See DESIGN.md for the per-experiment index and EXPERIMENTS.md for

@@ -70,10 +70,14 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
     """Mean/min/max/p50/p90 bundle for benchmark tables."""
     if not values:
         return {"mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p90": 0.0}
+    low, high = min(values), max(values)
+    # sum()/len() can land one ULP outside [min, max]; the true mean
+    # cannot, so clamp the rounding error away.
+    mean = min(high, max(low, sum(values) / len(values)))
     return {
-        "mean": sum(values) / len(values),
-        "min": min(values),
-        "max": max(values),
+        "mean": mean,
+        "min": low,
+        "max": high,
         "p50": percentile(values, 50),
         "p90": percentile(values, 90),
     }

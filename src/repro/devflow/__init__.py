@@ -3,6 +3,7 @@
 from .ci import (
     CIPipeline,
     DevFlowResult,
+    FixGate,
     PRGenerator,
     PullRequest,
     WeekStats,
@@ -13,6 +14,7 @@ from .ci import (
 __all__ = [
     "CIPipeline",
     "DevFlowResult",
+    "FixGate",
     "PRGenerator",
     "PullRequest",
     "WeekStats",

@@ -102,6 +102,45 @@ class CIPipeline:
         return False  # PR blocked; author must fix
 
 
+class FixGate:
+    """The remediation gate: no fix ships to the fleet unverified.
+
+    Remediation candidates ride the same instrumented CI as feature PRs —
+    the fixed workload runs as a test target under ``verify_test_main``
+    and must come back leak-free.  Only a green gate advances the bug
+    report FIX_PROPOSED → FIX_VERIFIED; :class:`BugDatabase` then refuses
+    DEPLOYED for anything that skipped this step.
+    """
+
+    def __init__(self, suppressions: Optional[SuppressionList] = None):
+        self.suppressions = suppressions or SuppressionList()
+        self.checks_run = 0
+        self.rejections = 0
+
+    def check(self, package: str, fix_body, seed: int = 0):
+        """Run the candidate fix through an instrumented test target."""
+        target = TestTarget(package).add("TestFixLeakFree", fix_body)
+        self.checks_run += 1
+        result = verify_test_main(target, self.suppressions, seed=seed)
+        if result.failed:
+            self.rejections += 1
+        return result
+
+    def admit(self, bug_db, report, package: str, fix_body,
+              seed: int = 0) -> bool:
+        """Gate one proposed fix; on green, mark the report FIX_VERIFIED.
+
+        ``report`` must already be FIX_PROPOSED (the BugDatabase raises
+        otherwise), so a fix can neither skip proposal nor verification
+        on its way to DEPLOYED.
+        """
+        result = self.check(package, fix_body, seed=seed)
+        if result.failed:
+            return False
+        bug_db.mark_fix_verified(report)
+        return True
+
+
 class PRGenerator:
     """Synthesizes the weekly PR stream with the paper's leak rates."""
 

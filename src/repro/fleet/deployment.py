@@ -57,18 +57,23 @@ class Service:
         self.history: List[ServiceSample] = []
         self._start_instances(start_time=0.0)
 
+    def _make_instance(
+        self, index: int, mix: RequestMix, start_time: float
+    ) -> ServiceInstance:
+        return ServiceInstance(
+            service=self.config.name,
+            mix=mix,
+            traffic=self.config.traffic,
+            cpu_model=self.config.cpu_model,
+            base_rss=self.config.base_rss,
+            seed=self.seed * 1000 + self.deploys * 100 + index,
+            name=f"{self.config.name}/i-{index}",
+            start_time=start_time,
+        )
+
     def _start_instances(self, start_time: float) -> None:
         self.instances = [
-            ServiceInstance(
-                service=self.config.name,
-                mix=self.config.mix,
-                traffic=self.config.traffic,
-                cpu_model=self.config.cpu_model,
-                base_rss=self.config.base_rss,
-                seed=self.seed * 1000 + self.deploys * 100 + index,
-                name=f"{self.config.name}/i-{index}",
-                start_time=start_time,
-            )
+            self._make_instance(index, self.config.mix, start_time)
             for index in range(self.config.instances)
         ]
         self.deploys += 1
@@ -82,6 +87,49 @@ class Service:
         if mix is not None:
             self.config = self.config.with_mix(mix)
         self._start_instances(start_time=self.now)
+
+    # -- staged rollouts (the repro.remedy hooks) ----------------------------
+
+    def partial_deploy(
+        self,
+        mix: RequestMix,
+        count: Optional[int] = None,
+        indices: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Restart only some instances on ``mix`` (canary / percentage ramp).
+
+        Unlike :meth:`deploy`, the untouched instances keep serving — and
+        keep their accumulated leaks, which is what lets a canary be
+        compared against still-leaky peers.  Instances are chosen lowest
+        index first among those not already on ``mix``; returns the indices
+        restarted.  When every instance ends up on ``mix`` the service
+        config is updated, so a later full :meth:`deploy` keeps the fix.
+        """
+        if indices is None:
+            eligible = [
+                index
+                for index, instance in enumerate(self.instances)
+                if instance.mix is not mix
+            ]
+            if count is None:
+                count = len(eligible)
+            indices = eligible[: max(0, count)]
+        start_time = self.now
+        for index in indices:
+            self.instances[index] = self._make_instance(index, mix, start_time)
+        if indices:
+            self.deploys += 1
+        if all(instance.mix is mix for instance in self.instances):
+            self.config = self.config.with_mix(mix)
+        return list(indices)
+
+    def instances_on(self, mix: RequestMix) -> List[int]:
+        """Indices of instances currently serving ``mix``."""
+        return [
+            index
+            for index, instance in enumerate(self.instances)
+            if instance.mix is mix
+        ]
 
     def advance_window(self, window: float = WINDOW_SECONDS) -> ServiceSample:
         """Advance every instance one window and aggregate a sample."""

@@ -9,7 +9,7 @@ routing → filed reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.profiling import GoroutineProfile
 
@@ -17,7 +17,7 @@ from .collector import Profilable, SweepStats, sweep
 from .detector import DEFAULT_THRESHOLD, Suspect, scan_fleet
 from .impact import LeakCandidate, rank_by_impact
 from .ownership import OwnershipRouter
-from .reports import BugDatabase, LeakReport
+from .reports import BugDatabase, LeakReport, ReportStatus
 
 
 @dataclass
@@ -29,13 +29,20 @@ class DailyRunResult:
     new_reports: List[LeakReport]
     duplicates: List[LeakCandidate]
     sweep_stats: Optional[SweepStats] = None
+    #: Whatever the configured remediator returned per new report (e.g.
+    #: :class:`repro.remedy.tickets.RemediationTicket` instances).
+    remediations: List[object] = field(default_factory=list)
 
 
 class LeakProf:
     """The paper's production monitor, parameterized like the deployment.
 
     ``threshold`` is the 10K blocked-goroutine bar of Criterion 1;
-    ``top_n`` bounds how many owners get alerted per run.
+    ``top_n`` bounds how many owners get alerted per run.  ``remediator``
+    is an optional callable invoked with each newly filed
+    :class:`LeakReport` — this is where the automated triage engine
+    (:class:`repro.remedy.RemedyEngine`) plugs into the daily run; its
+    non-None return values are collected on the result.
     """
 
     def __init__(
@@ -45,12 +52,14 @@ class LeakProf:
         apply_transient_filter: bool = True,
         router: Optional[OwnershipRouter] = None,
         bug_db: Optional[BugDatabase] = None,
+        remediator: Optional[Callable[[LeakReport], object]] = None,
     ):
         self.threshold = threshold
         self.top_n = top_n
         self.apply_transient_filter = apply_transient_filter
         self.router = router or OwnershipRouter()
         self.bug_db = bug_db or BugDatabase()
+        self.remediator = remediator
 
     def analyze_profiles(
         self,
@@ -81,11 +90,29 @@ class LeakProf:
                 duplicates.append(candidate)
             else:
                 new_reports.append(report)
+        remediations: List[object] = []
+        if self.remediator is not None:
+            pending = list(new_reports)
+            # A leak whose automated remediation stalled mid-lifecycle
+            # (gate rejection, aborted canary) dedups as a duplicate on
+            # later runs — but it is still leaking, so hand it back to
+            # the remediator for another attempt.  Reports in human
+            # hands (OPEN/ACKNOWLEDGED) or settled states are left alone.
+            retryable = (ReportStatus.FIX_PROPOSED, ReportStatus.FIX_VERIFIED)
+            for candidate in duplicates:
+                report = self.bug_db.get(candidate)
+                if report is not None and report.status in retryable:
+                    pending.append(report)
+            for report in pending:
+                outcome = self.remediator(report)
+                if outcome is not None:
+                    remediations.append(outcome)
         return DailyRunResult(
             suspects=suspects,
             candidates=candidates,
             new_reports=new_reports,
             duplicates=duplicates,
+            remediations=remediations,
         )
 
     def daily_run(

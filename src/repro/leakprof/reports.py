@@ -20,12 +20,37 @@ _report_ids = itertools.count(1)
 
 
 class ReportStatus(enum.Enum):
-    """Triage lifecycle matching the paper's 33 → 24 → 21 funnel."""
+    """Triage lifecycle matching the paper's 33 → 24 → 21 funnel.
+
+    The FIX_* / DEPLOYED states extend the funnel with the automated
+    remediation lifecycle (:mod:`repro.remedy`): a proposed fix must be
+    verified leak-free before it may be deployed.
+    """
 
     OPEN = "open"
     ACKNOWLEDGED = "acknowledged"
+    FIX_PROPOSED = "fix_proposed"  # remedy engine attached a candidate fix
+    FIX_VERIFIED = "fix_verified"  # candidate passed goleak + RSS checks
+    DEPLOYED = "deployed"  # fix rolled out fleet-wide
     FIXED = "fixed"
     REJECTED = "rejected"  # triaged as false positive / won't fix
+
+
+#: Legal transitions of the remediation lifecycle; the CI gate
+#: (:class:`repro.devflow.ci.FixGate`) relies on this ordering.  A stalled
+#: remediation (gate rejection, aborted canary) may re-propose — FIX_*
+#: states loop back through FIX_PROPOSED — but DEPLOYED is only ever
+#: reachable from FIX_VERIFIED.
+_REMEDIATION_PREDECESSORS = {
+    ReportStatus.FIX_PROPOSED: (
+        ReportStatus.OPEN,
+        ReportStatus.ACKNOWLEDGED,
+        ReportStatus.FIX_PROPOSED,
+        ReportStatus.FIX_VERIFIED,
+    ),
+    ReportStatus.FIX_VERIFIED: (ReportStatus.FIX_PROPOSED,),
+    ReportStatus.DEPLOYED: (ReportStatus.FIX_VERIFIED,),
+}
 
 
 @dataclass
@@ -109,15 +134,41 @@ class BugDatabase:
     def reject(self, report: LeakReport) -> None:
         report.status = ReportStatus.REJECTED
 
+    # -- remediation transitions (enforced ordering) ------------------------
+
+    def _advance(self, report: LeakReport, to: ReportStatus) -> None:
+        allowed = _REMEDIATION_PREDECESSORS[to]
+        if report.status not in allowed:
+            raise ValueError(
+                f"report #{report.report_id}: illegal transition "
+                f"{report.status.value} -> {to.value} (requires one of "
+                f"{sorted(s.value for s in allowed)})"
+            )
+        report.status = to
+
+    def propose_fix(self, report: LeakReport) -> None:
+        """A remediation candidate exists (remedy engine or human)."""
+        self._advance(report, ReportStatus.FIX_PROPOSED)
+
+    def mark_fix_verified(self, report: LeakReport) -> None:
+        """The candidate passed verification (goleak + RSS regression)."""
+        self._advance(report, ReportStatus.FIX_VERIFIED)
+
+    def mark_deployed(self, report: LeakReport) -> None:
+        """The verified fix finished its staged rollout fleet-wide."""
+        self._advance(report, ReportStatus.DEPLOYED)
+
     def funnel(self) -> Dict[str, int]:
         """The paper's reported/acknowledged/fixed counts."""
         reports = self.all_reports()
-        acknowledged = [
-            r
-            for r in reports
-            if r.status in (ReportStatus.ACKNOWLEDGED, ReportStatus.FIXED)
-        ]
-        fixed = [r for r in reports if r.status is ReportStatus.FIXED]
+        resolved = (ReportStatus.FIXED, ReportStatus.DEPLOYED)
+        triaged = (
+            ReportStatus.ACKNOWLEDGED,
+            ReportStatus.FIX_PROPOSED,
+            ReportStatus.FIX_VERIFIED,
+        ) + resolved
+        acknowledged = [r for r in reports if r.status in triaged]
+        fixed = [r for r in reports if r.status in resolved]
         return {
             "reported": len(reports),
             "acknowledged": len(acknowledged),

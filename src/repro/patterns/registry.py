@@ -36,6 +36,9 @@ class Pattern:
     fixed: Optional[Callable]  # corrected variant, None if nonsensical
     leaks_per_call: int  # leaked goroutines per leaky() invocation
     description: str = ""
+    #: Name of the :mod:`repro.remedy.fixes` strategy that turns ``leaky``
+    #: into ``fixed``; None when no mechanical rewrite exists (§VI-D).
+    fix_strategy: Optional[str] = None
 
 
 PATTERNS: Dict[str, Pattern] = {
@@ -49,6 +52,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=premature_return.leaky,
             fixed=premature_return.fixed,
             leaks_per_call=premature_return.LEAKS_PER_CALL,
+            fix_strategy="buffer_channel",
             description="Parent returns on error path without receiving.",
         ),
         Pattern(
@@ -59,6 +63,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=timeout_leak.leaky,
             fixed=timeout_leak.fixed,
             leaks_per_call=timeout_leak.LEAKS_PER_CALL,
+            fix_strategy="buffer_channel",
             description="ctx.Done wins the select; sender has no receiver.",
         ),
         Pattern(
@@ -69,6 +74,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=ncast.leaky,
             fixed=ncast.fixed,
             leaks_per_call=ncast.LEAKS_PER_CALL,
+            fix_strategy="buffer_channel",
             description="N senders, one receive: N-1 leak.",
         ),
         Pattern(
@@ -79,6 +85,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=double_send.leaky,
             fixed=double_send.fixed,
             leaks_per_call=double_send.LEAKS_PER_CALL,
+            fix_strategy="return_after_send",
             description="Missing return after error send.",
         ),
         Pattern(
@@ -89,6 +96,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=unclosed_range.leaky,
             fixed=unclosed_range.fixed,
             leaks_per_call=unclosed_range.LEAKS_PER_CALL,
+            fix_strategy="close_channel",
             description="Consumers parked in range loops; close() missing.",
         ),
         Pattern(
@@ -99,6 +107,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=timer_loop.leaky,
             fixed=timer_loop.fixed,
             leaks_per_call=timer_loop.LEAKS_PER_CALL,
+            fix_strategy="stop_escape_hatch",
             description="Infinite <-time.After loop with no escape hatch.",
         ),
         Pattern(
@@ -109,6 +118,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=contract_violation.leaky,
             fixed=contract_violation.fixed,
             leaks_per_call=contract_violation.LEAKS_PER_CALL,
+            fix_strategy="honor_stop_contract",
             description="Start without Stop leaks the listener select.",
         ),
         Pattern(
@@ -119,6 +129,7 @@ PATTERNS: Dict[str, Pattern] = {
             leaky=contract_violation.leaky_context_variant,
             fixed=contract_violation.fixed_context_variant,
             leaks_per_call=contract_violation.LEAKS_PER_CALL,
+            fix_strategy="context_cancel",
             description="Cancellable context never canceled.",
         ),
         Pattern(

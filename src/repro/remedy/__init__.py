@@ -1,0 +1,68 @@
+"""repro.remedy — automated leak triage & remediation (detect → diagnose
+→ fix → verify → rollout).
+
+The paper stops at detection plus hand-deployed fixes (Table V); this
+package closes the loop.  :class:`RemedyEngine` consumes LeakProf
+reports, diagnoses the root-cause pattern by probed stack signatures,
+proposes the catalog fix, proves it leak-free under the deterministic
+runtime (goleak + RSS regression + the CI fix gate), then stages a
+guarded canary rollout across the service's instances and records the
+Table V-style RSS recovery.
+"""
+
+from .diagnose import (
+    Diagnosis,
+    LeakSignature,
+    STATE_CATEGORIES,
+    SignatureIndex,
+    default_index,
+    diagnose,
+    probe_pattern,
+)
+from .engine import RemedyEngine
+from .fixes import (
+    FIX_STRATEGIES,
+    FixProposal,
+    FixStrategy,
+    UnfixableLeak,
+    drained,
+    propose_fix,
+    remix,
+)
+from .rollout import (
+    DEFAULT_STAGES,
+    RolloutResult,
+    RolloutStage,
+    StagedRollout,
+    StageReport,
+)
+from .tickets import RemediationTicket, TicketTracker
+from .verify import VerificationResult, exercise, verify_fix
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "Diagnosis",
+    "FIX_STRATEGIES",
+    "FixProposal",
+    "FixStrategy",
+    "LeakSignature",
+    "RemedyEngine",
+    "RemediationTicket",
+    "RolloutResult",
+    "RolloutStage",
+    "STATE_CATEGORIES",
+    "SignatureIndex",
+    "StageReport",
+    "StagedRollout",
+    "TicketTracker",
+    "UnfixableLeak",
+    "VerificationResult",
+    "default_index",
+    "diagnose",
+    "drained",
+    "exercise",
+    "probe_pattern",
+    "propose_fix",
+    "remix",
+    "verify_fix",
+]

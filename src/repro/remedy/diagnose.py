@@ -1,0 +1,200 @@
+"""Root-cause diagnosis: match leak evidence to a registered pattern.
+
+The paper's triage step is human: an owner reads the LeakProf report's
+representative stack and recognizes one of the §VI/§VII patterns.  This
+module automates that recognition.  Signatures are not hand-written —
+they are *probed*: every registered pattern's leaky workload is executed
+once in a scratch deterministic runtime and the goroutines it leaks are
+fingerprinted by (wait state, blocking function, spawning function,
+wait detail).  A production suspect whose representative record carries
+the same fingerprint is diagnosed with high confidence.
+
+When no fingerprint matches (third-party code with unfamiliar function
+names), diagnosis falls back to the paper's measured cause mix
+(``PAPER_CAUSE_MIX``): the block category still narrows the suspect to
+send/recv/select, and the highest-prior pattern of that category is
+proposed with ``confidence="prior"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.goleak import find
+from repro.leakprof.detector import Suspect
+from repro.patterns import PAPER_CAUSE_MIX, PATTERNS, Pattern
+from repro.profiling import GoroutineRecord
+from repro.runtime import Runtime
+
+#: Runtime wait-state value → the paper's §VI blocking category.
+STATE_CATEGORIES = {
+    "chan send": "send",
+    "chan receive": "recv",
+    "select": "select",
+}
+
+
+@dataclass(frozen=True)
+class LeakSignature:
+    """Fingerprint of one leaked goroutine, as probing observes it."""
+
+    state: str  # "chan send" | "chan receive" | "select"
+    blocking_function: Optional[str]  # leaf user frame (the blocked op site)
+    created_by: Optional[str]  # function that spawned the goroutine
+    wait_detail: Optional[str]  # "nil"/"chan" for chan ops; arm count for select
+
+    @classmethod
+    def of(cls, record: GoroutineRecord) -> "LeakSignature":
+        created = (
+            record.creation_ctx.function
+            if record.creation_ctx is not None
+            else None
+        )
+        return cls(
+            state=record.state.value,
+            blocking_function=record.blocking_function,
+            created_by=created,
+            wait_detail=record.wait_detail,
+        )
+
+    @property
+    def loose(self) -> Tuple[str, Optional[str]]:
+        """The (state, blocking function) key — robust to spawn-site drift."""
+        return (self.state, self.blocking_function)
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """The triage verdict for one leak record or suspect."""
+
+    pattern: Pattern
+    confidence: str  # "exact" | "loose" | "prior"
+    signature: LeakSignature
+    record: GoroutineRecord
+
+    @property
+    def cause(self) -> str:
+        """Root-cause label from the paper's taxonomy (§VI percentages)."""
+        return self.pattern.cause
+
+    @property
+    def category(self) -> str:
+        return STATE_CATEGORIES.get(self.signature.state, "other")
+
+    @property
+    def fixable(self) -> bool:
+        return self.pattern.fixed is not None
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{self.pattern.name} ({self.pattern.listing}; cause: "
+            f"{self.cause}; confidence: {self.confidence})"
+        )
+
+
+def probe_pattern(pattern: Pattern, seed: int = 0) -> List[GoroutineRecord]:
+    """Run one leaky workload in a scratch runtime; return what lingers."""
+    rt = Runtime(seed=seed, name=f"probe:{pattern.name}", panic_mode="record")
+    rt.run(
+        pattern.leaky,
+        rt,
+        deadline=rt.now + 5.0,
+        detect_global_deadlock=False,
+    )
+    return find(rt)
+
+
+class SignatureIndex:
+    """Probed fingerprints of every registered pattern's leaked goroutines."""
+
+    def __init__(self, exact: Dict[LeakSignature, str],
+                 loose: Dict[Tuple[str, Optional[str]], str]):
+        self._exact = exact
+        self._loose = loose
+
+    def __len__(self) -> int:
+        return len(self._exact)
+
+    @classmethod
+    def build(
+        cls,
+        patterns: Optional[Iterable[Pattern]] = None,
+        seed: int = 0,
+    ) -> "SignatureIndex":
+        exact: Dict[LeakSignature, str] = {}
+        loose: Dict[Tuple[str, Optional[str]], str] = {}
+        for pattern in patterns if patterns is not None else PATTERNS.values():
+            for record in probe_pattern(pattern, seed=seed):
+                signature = LeakSignature.of(record)
+                exact.setdefault(signature, pattern.name)
+                loose.setdefault(signature.loose, pattern.name)
+        return cls(exact, loose)
+
+    def lookup(
+        self, signature: LeakSignature
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """(pattern name, confidence) for a fingerprint; (None, None) if unknown."""
+        name = self._exact.get(signature)
+        if name is not None:
+            return name, "exact"
+        name = self._loose.get(signature.loose)
+        if name is not None:
+            return name, "loose"
+        return None, None
+
+
+_default_index: Optional[SignatureIndex] = None
+
+
+def default_index() -> SignatureIndex:
+    """The lazily-built index over every registered pattern."""
+    global _default_index
+    if _default_index is None:
+        _default_index = SignatureIndex.build()
+    return _default_index
+
+
+def _prior_pattern(state: str, wait_detail: Optional[str]) -> Optional[str]:
+    """Highest-prior pattern of the suspect's category (PAPER_CAUSE_MIX)."""
+    if wait_detail == "nil":
+        # Guaranteed deadlock: the category alone pins the pattern (§VI-D).
+        return "nil_send" if state == "chan send" else "nil_recv"
+    category = STATE_CATEGORIES.get(state)
+    if category is None:
+        return None
+    weights: Dict[str, float] = {}
+    for name, weight in PAPER_CAUSE_MIX[category]:
+        weights[name] = weights.get(name, 0.0) + weight
+    return max(weights, key=lambda name: weights[name])
+
+
+def diagnose(
+    evidence: Union[Suspect, GoroutineRecord],
+    index: Optional[SignatureIndex] = None,
+) -> Optional[Diagnosis]:
+    """Triage one leak: which pattern is this, and what caused it?
+
+    ``evidence`` is a LeakProf :class:`Suspect` (its representative stack
+    is used) or a raw goleak :class:`GoroutineRecord`.  Returns None only
+    for records that are not channel-blocked (nothing to diagnose).
+    """
+    record = (
+        evidence.representative if isinstance(evidence, Suspect) else evidence
+    )
+    signature = LeakSignature.of(record)
+    if signature.state not in STATE_CATEGORIES:
+        return None
+    name, confidence = (index or default_index()).lookup(signature)
+    if name is None:
+        name = _prior_pattern(signature.state, signature.wait_detail)
+        confidence = "prior"
+    if name is None:
+        return None
+    return Diagnosis(
+        pattern=PATTERNS[name],
+        confidence=confidence,
+        signature=signature,
+        record=record,
+    )

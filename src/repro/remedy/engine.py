@@ -1,0 +1,156 @@
+"""The remedy engine: detect → diagnose → fix → verify → rollout.
+
+This is the subsystem the paper's Table V implies but never builds: the
+loop that turns a LeakProf detection into a verified, fleet-deployed
+remediation.  For each newly filed report the engine
+
+1. diagnoses the root-cause pattern from the report's representative
+   stack (:mod:`repro.remedy.diagnose`),
+2. proposes the catalog fix for that pattern
+   (:mod:`repro.remedy.fixes`),
+3. verifies the candidate under the deterministic runtime — goleak
+   clean plus no RSS regression (:mod:`repro.remedy.verify`) — and runs
+   it through the CI :class:`~repro.devflow.ci.FixGate`,
+4. stages a guarded rollout across the service's instances
+   (:mod:`repro.remedy.rollout`), and
+5. tracks the whole journey as a ticket whose status transitions are
+   enforced by the Bug DB (:mod:`repro.remedy.tickets`).
+
+Plug it into the daily run via ``LeakProf(remediator=engine.remediator
+(fleet))`` or drive it explicitly with :meth:`RemedyEngine.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.devflow.ci import FixGate
+from repro.fleet import Fleet, Service
+from repro.leakprof.ownership import OwnershipRouter
+from repro.leakprof.pipeline import DailyRunResult
+from repro.leakprof.reports import BugDatabase, LeakReport
+
+from .diagnose import SignatureIndex, default_index, diagnose
+from .fixes import UnfixableLeak, propose_fix, remix
+from .rollout import RolloutResult, StagedRollout
+from .tickets import RemediationTicket, TicketTracker
+from .verify import verify_fix
+
+
+class RemedyEngine:
+    """End-to-end automated remediation over a simulated fleet."""
+
+    def __init__(
+        self,
+        bug_db: Optional[BugDatabase] = None,
+        router: Optional[OwnershipRouter] = None,
+        index: Optional[SignatureIndex] = None,
+        gate: Optional[FixGate] = None,
+        rollout: Optional[StagedRollout] = None,
+        verify_calls: int = 25,
+        seed: int = 0,
+    ):
+        self.tracker = TicketTracker(bug_db=bug_db, router=router)
+        self.index = index if index is not None else default_index()
+        self.gate = gate or FixGate()
+        self.rollout = rollout or StagedRollout()
+        self.verify_calls = verify_calls
+        self.seed = seed
+
+    # -- single-report remediation ------------------------------------------
+
+    def remediate(
+        self, report: LeakReport, service: Service
+    ) -> RemediationTicket:
+        """Drive one report as far through the lifecycle as evidence allows."""
+        diagnosis = diagnose(report.candidate.representative, index=self.index)
+        if diagnosis is None:
+            raise ValueError(
+                f"report #{report.report_id}: representative record is not "
+                "channel-blocked; nothing to remediate"
+            )
+        ticket = self.tracker.open(report, diagnosis)
+        try:
+            proposal = propose_fix(diagnosis)
+        except UnfixableLeak as error:
+            ticket.notes.append(f"unfixable: {error}")
+            return ticket
+        self.tracker.propose(ticket, proposal)
+
+        params = self._handler_params(service, diagnosis)
+        verification = verify_fix(
+            proposal,
+            calls=self.verify_calls,
+            seed=self.seed,
+            params=params,
+        )
+        # The CI gate run only matters for a candidate that survived the
+        # engine's own verification; don't burn a test-target run otherwise.
+        gate_passed = False
+        if verification.passed:
+            gate_result = self.gate.check(
+                proposal.package,
+                proposal.bound(**params) if params else proposal.fixed_body,
+                seed=self.seed,
+            )
+            gate_passed = not gate_result.failed
+        verified = self.tracker.record_verification(
+            ticket, verification, gate_passed=gate_passed
+        )
+        if not verified:
+            return ticket
+
+        fixed_mix, swapped = remix(service.config.mix, proposal)
+        if swapped == 0:
+            ticket.notes.append(
+                "diagnosed pattern not found in the service's request mix; "
+                "manual rollout required"
+            )
+            return ticket
+        rollout_result = self.rollout.execute(service, fixed_mix)
+        self.tracker.record_rollout(ticket, rollout_result)
+        return ticket
+
+    # -- fleet-level entry points -------------------------------------------
+
+    def run(
+        self, fleet: Fleet, daily: DailyRunResult
+    ) -> List[RemediationTicket]:
+        """Remediate every new report of one LeakProf daily run."""
+        tickets: List[RemediationTicket] = []
+        for report in daily.new_reports:
+            service = fleet.services.get(report.candidate.service or "")
+            if service is None:
+                continue
+            tickets.append(self.remediate(report, service))
+        return tickets
+
+    def remediator(
+        self, fleet: Fleet
+    ) -> Callable[[LeakReport], Optional[RemediationTicket]]:
+        """An adapter for ``LeakProf(remediator=...)`` wired to ``fleet``."""
+
+        def handle(report: LeakReport) -> Optional[RemediationTicket]:
+            service = fleet.services.get(report.candidate.service or "")
+            if service is None:
+                return None
+            return self.remediate(report, service)
+
+        return handle
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _handler_params(
+        service: Service, diagnosis
+    ) -> Dict[str, object]:
+        """Parameters the service binds to the diagnosed leaky handler.
+
+        Verifying with the production parameters (payload sizes, worker
+        counts) keeps the RSS-regression check faithful to what the
+        rollout will actually serve.
+        """
+        for handler in service.config.mix.handlers:
+            if handler.body is diagnosis.pattern.leaky:
+                return dict(handler.params)
+        return {}

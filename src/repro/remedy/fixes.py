@@ -1,0 +1,183 @@
+"""The fix catalog: mechanical rewrites mirroring the paper's fix taxonomy.
+
+Every fix the paper's owners deployed (§VII, Table V) falls into a small
+set of strategies — buffer the channel (Listings 7–9), add the missing
+``return`` (Listing 5), close the channel after the last send
+(Listing 3), give the timer loop an escape hatch (Listing 4), honor the
+Start/Stop contract or wire context cancellation (Listing 6).  Each
+registered :class:`~repro.patterns.registry.Pattern` names its strategy
+via ``fix_strategy``; :func:`propose_fix` turns a
+:class:`~repro.remedy.diagnose.Diagnosis` into a concrete
+:class:`FixProposal` carrying the corrected workload.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.fleet.workload import RequestMix
+from repro.patterns import Pattern
+
+from .diagnose import Diagnosis
+
+
+class UnfixableLeak(Exception):
+    """No mechanical rewrite exists; a human must redesign the code."""
+
+
+@dataclass(frozen=True)
+class FixStrategy:
+    """One rewrite family from the paper's fix taxonomy."""
+
+    name: str
+    title: str
+    description: str
+
+
+FIX_STRATEGIES: Dict[str, FixStrategy] = {
+    strategy.name: strategy
+    for strategy in (
+        FixStrategy(
+            name="buffer_channel",
+            title="Buffer the channel",
+            description=(
+                "Give the result channel capacity for every pending send "
+                "so senders complete without a receiver (Listings 7-9)."
+            ),
+        ),
+        FixStrategy(
+            name="return_after_send",
+            title="Return after the error send",
+            description=(
+                "Add the missing return on the error path so the sender "
+                "never reaches a second, unreceived send (Listing 5)."
+            ),
+        ),
+        FixStrategy(
+            name="close_channel",
+            title="Close after the last send",
+            description=(
+                "close() the work channel once production ends so range "
+                "loops observe termination and drain out (Listing 3)."
+            ),
+        ),
+        FixStrategy(
+            name="stop_escape_hatch",
+            title="Select with a stop channel",
+            description=(
+                "Replace the bare <-time.After loop with a select over "
+                "the timer and a done channel, handing the caller a "
+                "stop() to bound the goroutine's lifetime (Listing 4)."
+            ),
+        ),
+        FixStrategy(
+            name="honor_stop_contract",
+            title="Honor the Start/Stop contract",
+            description=(
+                "Call Stop — a close-once on the done channel — whenever "
+                "Start succeeded, releasing the listener select "
+                "(Listing 6)."
+            ),
+        ),
+        FixStrategy(
+            name="context_cancel",
+            title="Add context cancellation",
+            description=(
+                "Defer cancel() on the context handed to the worker so "
+                "its select unblocks when the caller returns (Listing 6, "
+                "context variant)."
+            ),
+        ),
+    )
+}
+
+
+def drained(body: Callable) -> Callable:
+    """Wrap a fixed workload so returned cleanup handles are honored.
+
+    Strategies like ``stop_escape_hatch`` hand the caller a ``stop()``
+    closure ("drain-on-return"): the corrected code only stays leak-free
+    if the caller invokes it.  Harnesses and request handlers run fixes
+    through this wrapper so any callable return value is called once the
+    workload body finishes.
+    """
+
+    if getattr(body, "_drained", False):
+        return body
+
+    def harness(rt, **params):
+        result = yield from body(rt, **params)
+        if callable(result):
+            result()  # the workload's stop()/cleanup handle
+        return result
+
+    harness.__name__ = getattr(body, "__name__", "fixed")
+    harness.__qualname__ = f"drained[{harness.__name__}]"
+    harness._drained = True
+    return harness
+
+
+@dataclass(frozen=True)
+class FixProposal:
+    """A candidate remediation: the strategy plus the corrected workload."""
+
+    pattern: Pattern
+    strategy: FixStrategy
+    fixed_body: Callable  # corrected workload honoring cleanup handles
+
+    @property
+    def package(self) -> str:
+        """CI test-target name for the gate run."""
+        return f"fix/{self.pattern.name}"
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{self.strategy.title} -> {self.pattern.name} "
+            f"({self.pattern.listing})"
+        )
+
+    def bound(self, **params) -> Callable:
+        """The fixed workload with handler parameters applied."""
+        if not params:
+            return self.fixed_body
+        return functools.partial(self.fixed_body, **params)
+
+
+def propose_fix(diagnosis: Diagnosis) -> FixProposal:
+    """Map a diagnosis to its catalog fix; raises :class:`UnfixableLeak`."""
+    pattern = diagnosis.pattern
+    if pattern.fixed is None or pattern.fix_strategy is None:
+        raise UnfixableLeak(
+            f"{pattern.name}: {pattern.cause} has no mechanical rewrite "
+            "(guaranteed deadlock; the code needs redesign)"
+        )
+    strategy = FIX_STRATEGIES[pattern.fix_strategy]
+    return FixProposal(
+        pattern=pattern,
+        strategy=strategy,
+        fixed_body=drained(pattern.fixed),
+    )
+
+
+def remix(
+    mix: RequestMix, proposal: FixProposal
+) -> Tuple[RequestMix, int]:
+    """Swap every handler running the diagnosed leaky body for the fix.
+
+    Returns the corrected mix plus how many handlers were rewritten —
+    zero means the diagnosis does not apply to this service's workload.
+    Weights and bound parameters are preserved, so the fixed service
+    serves exactly the traffic the leaky one did.
+    """
+    swapped = 0
+    handlers = []
+    for handler in mix.handlers:
+        if handler.body is proposal.pattern.leaky:
+            handlers.append(replace(handler, body=proposal.fixed_body))
+            swapped += 1
+        else:
+            handlers.append(handler)
+    return RequestMix(handlers=handlers), swapped

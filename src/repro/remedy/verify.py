@@ -1,0 +1,142 @@
+"""Fix verification: prove a candidate leak-free before it may ship.
+
+The check mirrors what the paper's owners did by hand before deploying
+(§VII): re-run the workload with the candidate fix under the
+deterministic runtime and demand two things —
+
+1. **goleak clean**: after ``calls`` executions, ``goleak.verify_none``
+   finds nothing lingering (Fact 1 / Corollary 1 applied to the fix);
+2. **RSS regression**: the fixed run's resident-set growth stays a small
+   fraction of the leaky baseline's, so a "fix" that stops goroutines
+   from parking but still pins memory is rejected.
+
+The leaky baseline is exercised with identical parameters and seed, both
+to confirm the diagnosis actually reproduces (a fix for a leak we cannot
+reproduce proves nothing) and to scale the RSS bar.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.goleak import LeakError, find, verify_none
+
+from repro.runtime import Runtime
+
+from .fixes import FixProposal, drained
+
+#: Fixed-run RSS growth must stay below this fraction of the leaky run's.
+DEFAULT_RSS_FRACTION = 0.25
+
+#: Absolute slack (bytes) so leak-free noise never fails the RSS check.
+DEFAULT_RSS_SLACK = 64 * 1024
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Everything the ticket records about one verification run."""
+
+    passed: bool
+    reason: str
+    calls: int
+    leaks_baseline: int  # lingering goroutines after the leaky runs
+    leaks_candidate: int  # lingering goroutines after the fixed runs
+    rss_growth_baseline: int  # bytes above base RSS, leaky run
+    rss_growth_candidate: int  # bytes above base RSS, fixed run
+
+    @property
+    def rss_recovery(self) -> float:
+        """Fraction of the leaky run's RSS growth the fix eliminates."""
+        if self.rss_growth_baseline <= 0:
+            return 0.0
+        return 1.0 - self.rss_growth_candidate / self.rss_growth_baseline
+
+    @property
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{verdict}] {self.reason}: {self.calls} calls, leaks "
+            f"{self.leaks_baseline} -> {self.leaks_candidate}, RSS growth "
+            f"{self.rss_growth_baseline} -> {self.rss_growth_candidate} "
+            f"bytes ({self.rss_recovery:.0%} recovered)"
+        )
+
+
+def exercise(
+    body: Callable,
+    calls: int = 25,
+    seed: int = 0,
+    params: Optional[Dict[str, object]] = None,
+    name: str = "verify",
+) -> Runtime:
+    """Run ``body`` ``calls`` times in one fresh runtime (a mini instance).
+
+    Cleanup handles returned by fixed workloads are honored via
+    :func:`~repro.remedy.fixes.drained`, matching how service instances
+    run remediated handlers.
+    """
+    rt = Runtime(seed=seed, name=name, panic_mode="record")
+    harness = drained(body)
+    bound = functools.partial(harness, **params) if params else harness
+    for _ in range(calls):
+        rt.run(
+            bound,
+            rt,
+            deadline=rt.now + 30.0,
+            detect_global_deadlock=False,
+        )
+    return rt
+
+
+def verify_fix(
+    proposal: FixProposal,
+    calls: int = 25,
+    seed: int = 0,
+    params: Optional[Dict[str, object]] = None,
+    rss_fraction: float = DEFAULT_RSS_FRACTION,
+    rss_slack: int = DEFAULT_RSS_SLACK,
+) -> VerificationResult:
+    """Judge one fix proposal against its own leaky baseline."""
+    baseline = exercise(
+        proposal.pattern.leaky,
+        calls=calls,
+        seed=seed,
+        params=params,
+        name=f"baseline:{proposal.pattern.name}",
+    )
+    leaks_baseline = len(find(baseline))
+    rss_baseline = max(0, baseline.rss() - baseline.base_rss)
+
+    candidate = exercise(
+        proposal.fixed_body,
+        calls=calls,
+        seed=seed,
+        params=params,
+        name=f"candidate:{proposal.pattern.name}",
+    )
+    rss_candidate = max(0, candidate.rss() - candidate.base_rss)
+    try:
+        verify_none(candidate)
+        leaks_candidate = 0
+    except LeakError as error:
+        leaks_candidate = len(error.leaks)
+
+    if leaks_baseline == 0:
+        passed, reason = False, "baseline did not reproduce the leak"
+    elif leaks_candidate > 0:
+        passed, reason = False, "candidate still leaks goroutines"
+    elif rss_candidate > max(rss_slack, rss_fraction * rss_baseline):
+        passed, reason = False, "candidate regresses RSS"
+    else:
+        passed, reason = True, "goleak clean, RSS recovered"
+    return VerificationResult(
+        passed=passed,
+        reason=reason,
+        calls=calls,
+        leaks_baseline=leaks_baseline,
+        leaks_candidate=leaks_candidate,
+        rss_growth_baseline=rss_baseline,
+        rss_growth_candidate=rss_candidate,
+    )

@@ -1,0 +1,89 @@
+"""Scheduler determinism, property-tested across every registered pattern.
+
+The entire reproduction rests on one substrate guarantee: a seeded
+runtime is a pure function of its inputs.  Two runs of the same workload
+under the same seed must produce bit-for-bit identical goroutine traces
+(ids, names, states, full stacks, wait details) and identical RSS curves
+— otherwise goleak's Fact 1, LeakProf's thresholds, and every benchmark
+figure would be unreproducible.  Hypothesis drives the seed and the
+exercise shape; the assertion is exact equality, no tolerances.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiling import GoroutineProfile
+from repro.runtime import Runtime
+
+
+def _trace(rt):
+    """A canonical, fully-value-typed snapshot of every live goroutine."""
+    profile = GoroutineProfile.take(rt)
+    return tuple(
+        (
+            record.gid,
+            record.name,
+            record.state.value,
+            tuple(str(frame) for frame in record.frames),
+            str(record.creation_ctx),
+            record.wait_seconds,
+            record.wait_detail,
+        )
+        for record in sorted(profile.records, key=lambda r: r.gid)
+    )
+
+
+def _run_pattern(pattern, seed, calls, windows):
+    """Run one pattern ``calls`` times, sampling the RSS curve per window."""
+    rt = Runtime(seed=seed, name=f"det:{pattern.name}", panic_mode="record")
+    rss_curve = [rt.rss()]
+    for _ in range(calls):
+        rt.run(
+            pattern.leaky,
+            rt,
+            deadline=rt.now + 5.0,
+            detect_global_deadlock=False,
+        )
+        rss_curve.append(rt.rss())
+    for _ in range(windows):
+        rt.advance(1.0)
+        rss_curve.append(rt.rss())
+    return _trace(rt), tuple(rss_curve), rt.steps, rt.now
+
+
+def _pattern_ids():
+    from repro.patterns import PATTERNS
+
+    return sorted(PATTERNS)
+
+
+@pytest.mark.parametrize("name", _pattern_ids())
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    calls=st.integers(min_value=1, max_value=4),
+    windows=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=8, deadline=None)
+def test_same_seed_same_universe(name, seed, calls, windows):
+    """Identical seeds yield identical traces, RSS curves, and clocks."""
+    from repro.patterns import PATTERNS
+
+    pattern = PATTERNS[name]
+    first = _run_pattern(pattern, seed, calls, windows)
+    second = _run_pattern(pattern, seed, calls, windows)
+    assert first == second
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_remedy_verification_is_deterministic(seed):
+    """The remediation verdict itself is reproducible under a seed."""
+    from repro.patterns import PATTERNS
+    from repro.remedy import diagnose, probe_pattern, propose_fix, verify_fix
+
+    pattern = PATTERNS["timeout_leak"]
+    proposal = propose_fix(diagnose(probe_pattern(pattern)[0]))
+    one = verify_fix(proposal, calls=4, seed=seed)
+    two = verify_fix(proposal, calls=4, seed=seed)
+    assert one == two
+    assert one.passed

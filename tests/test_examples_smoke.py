@@ -1,0 +1,47 @@
+"""Smoke test: every script under examples/ must import and run clean.
+
+Each demo is executed in a subprocess exactly the way its docstring
+advertises (``python examples/<name>.py``), so the walkthroughs cannot
+silently rot as the packages underneath them evolve.  Discovery is by
+glob: a new example is covered the moment the file lands.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 6, "examples/ directory looks gutted"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
