@@ -1,0 +1,51 @@
+"""Machine-readable benchmark artifacts.
+
+Every benchmark prints a human table (see ``conftest.print_table``) and,
+via :func:`emit`, drops a ``BENCH_<name>.json`` file next to it so the
+perf trajectory of the repo can be tracked across commits without
+scraping stdout.  CI uploads these files as workflow artifacts.
+
+Schema (one JSON object per file)::
+
+    {
+      "bench": "<name>",
+      "metric": "<what the headline number measures>",
+      "value": <number>,
+      "unit": "<optional unit>",
+      "seed": <rng seed the run used, if any>,
+      "runtime_steps": <scheduler steps consumed, if known>,
+      ...extra key/values the bench wants to record
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Optional
+
+#: Artifacts land next to the bench files themselves.
+ARTIFACT_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def emit(
+    name: str,
+    metric: str,
+    value: Any,
+    unit: Optional[str] = None,
+    seed: Optional[int] = None,
+    runtime_steps: Optional[int] = None,
+    **extra: Any,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json``; returns the path written."""
+    payload = {"bench": name, "metric": metric, "value": value}
+    if unit is not None:
+        payload["unit"] = unit
+    if seed is not None:
+        payload["seed"] = seed
+    if runtime_steps is not None:
+        payload["runtime_steps"] = runtime_steps
+    payload.update(extra)
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path

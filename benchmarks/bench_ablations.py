@@ -17,15 +17,15 @@ benches quantify each on our substrate:
 
 import functools
 
-import pytest
 
 from repro.analysis.stats import rms
 from repro.goleak import find, max_retries
-from repro.leakprof import LeakProf, scan_profile
+from repro.leakprof import scan_profile
 from repro.patterns import congestion, premature_return, timer_loop
 from repro.profiling import GoroutineProfile
 from repro.runtime import Runtime, go, sleep
 
+from _emit import emit
 from conftest import print_table
 
 
@@ -80,6 +80,12 @@ def test_ablation_threshold_sweep(benchmark):
         "Criterion 1 ablation: threshold sweep",
         ["threshold", "reports", "true", "precision", "recall"],
         [(t, n, tp, f"{p:.0%}", f"{r:.0%}") for t, n, tp, p, r in rows],
+    )
+    emit(
+        "ablation_threshold",
+        metric="precision_at_200",
+        value={row[0]: row for row in rows}[200][3],
+        recall_at_200={row[0]: row for row in rows}[200][4],
     )
     by_threshold = {row[0]: row for row in rows}
     # low threshold: perfect recall, noisy; high threshold: misses leaks

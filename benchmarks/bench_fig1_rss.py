@@ -12,6 +12,7 @@ import pytest
 from repro.fleet import Fleet, RequestMix, Service, ServiceConfig, TrafficShape
 from repro.patterns import timeout_leak
 
+from _emit import emit
 from conftest import print_series
 
 GIB = 1024**3
@@ -66,6 +67,15 @@ def test_fig1_rss_reduction(benchmark):
         f"(paper ~{PAPER_PEAK_GIB} GiB)\n"
         f"after fix:       {after / MIB:.0f} MiB (paper ~{PAPER_AFTER_MIB} MiB)\n"
         f"reduction:       {reduction:.1f}x (paper {PAPER_REDUCTION}x)"
+    )
+    emit(
+        "fig1_rss",
+        metric="rss_reduction",
+        value=round(reduction, 2),
+        unit="x",
+        seed=7,
+        peak_before_bytes=peak_before,
+        after_bytes=after,
     )
     # Shape assertions: multi-GiB growth, collapse to baseline, ~9x ratio.
     assert peak_before > 3 * GIB

@@ -19,6 +19,7 @@ from repro.fleet import (
 )
 from repro.patterns import premature_return
 
+from _emit import emit
 from conftest import print_series
 
 #: Paper values.
@@ -91,6 +92,13 @@ def test_fig2_cpu_reduction(benchmark):
         f"avg CPU:  {avg_before:.1f}% -> {avg_after:.1f}% "
         f"(-{100 * avg_cut:.0f}%; paper {PAPER_AVG_BEFORE}% -> "
         f"{PAPER_AVG_AFTER}%, -16.5%)"
+    )
+    emit(
+        "fig2_cpu",
+        metric="max_cpu_cut_fraction",
+        value=round(max_cut, 3),
+        seed=11,
+        avg_cpu_cut_fraction=round(avg_cut, 3),
     )
     # Shape: the fix cuts max utilization by roughly a third, average by
     # roughly a sixth, and the diurnal swing persists after the fix.

@@ -6,10 +6,10 @@ inflow collapses to ~1/week (suppression-list escapes only).  857 legacy
 leaks were suppressed at bootstrap and ~260 leaks/year are prevented.
 """
 
-import pytest
 
 from repro.devflow import projected_annual_prevention, simulate
 
+from _emit import emit
 from conftest import print_series
 
 PAPER_MEDIAN_BEFORE = 5
@@ -52,6 +52,14 @@ def test_fig5_weekly_leak_inflow(benchmark):
         f"bootstrap suppression: {result.initial_suppression_size} entries, "
         f"{result.initial_partial_deadlocks} partial deadlocks "
         f"(paper {PAPER_INITIAL_SUPPRESSION}/{PAPER_SUPPRESSED_DEADLOCKS})"
+    )
+    emit(
+        "fig5_inflow",
+        metric="median_weekly_leaks_before",
+        value=median_before,
+        migration_week_leaks=migration,
+        max_after=max(after),
+        projected_annual_prevention=projected_annual_prevention(),
     )
     assert 3 <= median_before <= 7
     assert migration >= PAPER_MIGRATION

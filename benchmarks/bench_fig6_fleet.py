@@ -9,12 +9,12 @@ the representative instance must cross the 10K threshold and LeakProf must
 intercept at exactly that point.
 """
 
-import pytest
 
 from repro.fleet import Fleet, RequestMix, Service, ServiceConfig, TrafficShape
 from repro.leakprof import LeakProf
 from repro.patterns import premature_return
 
+from _emit import emit
 from conftest import print_series
 
 PAPER_PEAK_ONE_INSTANCE = 16_000
@@ -71,6 +71,14 @@ def test_fig6_fleet_footprint(benchmark):
     )
     # Shape: the representative instance exceeded the 10K threshold, and
     # the (scaled) fleet-wide count reached the millions.
-    assert report.candidate.peak_instance_count >= THRESHOLD
     peak_fleet = max(s.total_blocked_goroutines for s in series)
+    emit(
+        "fig6_fleet",
+        metric="peak_fleet_blocked_goroutines",
+        value=peak_fleet,
+        seed=13,
+        peak_instance_count=report.candidate.peak_instance_count,
+        intercepted_at_hours=round(t / 3600.0, 1),
+    )
+    assert report.candidate.peak_instance_count >= THRESHOLD
     assert peak_fleet > 1_000_000

@@ -12,7 +12,7 @@ target, and the per-stack snapshot cost.
 
 import time
 
-import pytest
+from _emit import emit
 
 from repro.goleak import TestTarget, find, verify_test_main
 from repro.patterns import healthy, premature_return
@@ -81,6 +81,12 @@ def test_pathological_leak_overhead(benchmark):
     print(
         f"\npathological-test slowdown: {slowdown:.1f}x "
         "(paper: 4.6-7.4x; grows with leaked-goroutine count)"
+    )
+    emit(
+        "goleak_overhead",
+        metric="pathological_slowdown",
+        value=round(slowdown, 2),
+        unit="x",
     )
     # Shape: leak-only tests pay a multiple of their runtime to goleak,
     # while healthy tests (above) pay nearly nothing.

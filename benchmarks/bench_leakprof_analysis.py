@@ -10,12 +10,13 @@ budget (single core here vs 48 cores there).
 
 import functools
 
-import pytest
 
-from repro.leakprof import LeakProf, scan_profile
+from repro.leakprof import LeakProf
 from repro.patterns import premature_return, healthy
 from repro.profiling import GoroutineProfile, dump_text, parse_text
 from repro.runtime import Runtime
+
+from _emit import emit
 
 N_PROFILES = 400
 PAPER_PROFILES = 200_000
@@ -61,6 +62,13 @@ def test_leakprof_analysis_throughput(benchmark):
         f"{N_PROFILES} profiles ({1e6 * per_profile:.0f} us/profile)\n"
         f"projected to {PAPER_PROFILES} profiles: {projected:.1f} s "
         f"single-core (paper: <{PAPER_ANALYSIS_SECONDS:.0f} s on 48 cores)"
+    )
+    emit(
+        "leakprof_analysis",
+        metric="projected_seconds_for_fleet",
+        value=round(projected, 2),
+        unit="s",
+        per_profile_us=round(1e6 * per_profile, 1),
     )
     # minute-scale on one core ~= seconds-scale on 48: same regime
     assert projected < PAPER_ANALYSIS_SECONDS * 48

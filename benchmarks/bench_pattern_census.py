@@ -21,6 +21,7 @@ from repro.goleak import BlockType, classify, find
 from repro.patterns import PAPER_CAUSE_MIX, PATTERNS
 from repro.runtime import Runtime
 
+from _emit import emit
 from conftest import print_table
 
 DRAWS_PER_CATEGORY = 120
@@ -89,6 +90,14 @@ def test_pattern_cause_census(benchmark):
     # (unclosed_range, ncast) are over-represented relative to their
     # draw weight, exactly as multi-goroutine leaks are in the paper's
     # Table IV counts.
+    emit(
+        "pattern_census",
+        metric="categories_covered",
+        value=len(observed),
+        leaked_goroutines=sum(
+            sum(counts.values()) for counts in observed.values()
+        ),
+    )
     recv = observed["recv"]
     assert recv.get("timer_loop", 0) > 0
     assert recv.get("unclosed_range", 0) > 0

@@ -13,7 +13,6 @@ before/after memory direction matches Table V (after < before) for well
 over the 5-service floor, and capacity needs never increase.
 """
 
-import pytest
 
 from repro.fleet import (
     Fleet,
@@ -27,6 +26,7 @@ from repro.leakprof import LeakProf
 from repro.patterns import PATTERNS
 from repro.remedy import RemedyEngine, StagedRollout
 
+from _emit import emit
 from conftest import print_table
 
 GB = 1024**3
@@ -161,6 +161,16 @@ def test_remedy_recovery(benchmark):
         ["svc", "#inst", "bug", "diagnosed", "ticket", "before", "after",
          "saved", "paper saved"],
         rows,
+    )
+    emit(
+        "remedy_recovery",
+        metric="services_with_memory_cut",
+        value=sum(
+            1
+            for _name, _pat, r in results
+            if r["after_total_gb"] < r["before_total_gb"]
+        ),
+        services_total=len(results),
     )
     direction_matches = 0
     for name, pattern_name, r in results:

@@ -10,6 +10,7 @@ import pytest
 
 from repro.corpus import generate_monorepo, model, scan_table1
 
+from _emit import emit
 from conftest import print_table
 
 SCALE = 0.05
@@ -39,6 +40,12 @@ def test_table1_package_distribution(benchmark):
         "both 2,416 / 2.28M; all 119,816 / 46.31M"
     )
     scale = rows["all"].packages / model.TOTAL_PACKAGES
+    emit(
+        "table1_packages",
+        metric="total_packages",
+        value=rows["all"].packages,
+        scale=round(scale, 4),
+    )
     # Package-count ratios are exact by construction.
     assert rows["mp"].packages == pytest.approx(model.MP_PACKAGES * scale, rel=0.02)
     assert rows["sm"].packages == pytest.approx(model.SM_PACKAGES * scale, rel=0.02)

@@ -10,6 +10,7 @@ import pytest
 
 from repro.corpus import generate_monorepo, model, scan_table2, scan_table1
 
+from _emit import emit
 from conftest import print_table
 
 SCALE = 0.05
@@ -56,6 +57,16 @@ def test_table2_feature_prominence(benchmark):
         expected = paper_source * scale
         tolerance = max(0.15 * expected, 4 * expected**0.5)
         assert ours == pytest.approx(expected, abs=tolerance), feature
+    emit(
+        "table2_features",
+        metric="goroutine_total",
+        value=summary.goroutine_total[0],
+        wrapper_share=round(
+            summary.features["go_wrapper"][0]
+            / max(1, summary.goroutine_total[0]),
+            3,
+        ),
+    )
     # The paper's four takeaways hold in the regenerated table:
     # (1) goroutine creation pervasive, (2) wrappers significant,
     # (3) channel ops common, (4) unbuffered channels the most common kind.

@@ -18,7 +18,6 @@ import functools
 
 import pytest
 
-from repro.goleak import find
 from repro.leakprof import LeakProf
 from repro.patterns import congestion, premature_return, timeout_leak
 from repro.profiling import GoroutineProfile
@@ -29,6 +28,7 @@ from repro.staticanalysis import (
     evaluate_static_tools,
 )
 
+from _emit import emit
 from conftest import print_table
 
 PAPER = {
@@ -120,6 +120,13 @@ def test_table3_tool_precision(benchmark):
         "Table III: analysis tools (ours vs paper precision)",
         ["tool", "reports", "precision", "paper", "CI-deployable"],
         rows,
+    )
+    emit(
+        "table3_tools",
+        metric="goleak_precision",
+        value=measured["goleak"],
+        leakprof_reports=lp_reports,
+        leakprof_true_positives=lp_tp,
     )
     # Shape: dynamic tools dominate; static ordering gcatch > goat > gomela.
     assert measured["goleak"] == 1.0

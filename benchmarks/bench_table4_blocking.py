@@ -13,8 +13,6 @@ scaled synthetic test-suite whose leak mix follows §VI-A/B/C and census
 the residue with goleak's classifier.
 """
 
-import functools
-import math
 import random
 
 import pytest
@@ -22,8 +20,9 @@ import pytest
 from repro.goleak import BlockType, census, message_passing_share
 from repro.patterns import PATTERNS
 from repro.profiling import GoroutineProfile
-from repro.runtime import Runtime, go, park, recv, send, sleep
+from repro.runtime import Runtime, go, park, send, sleep
 
+from _emit import emit
 from conftest import print_table
 
 #: Paper shares per Table IV row.
@@ -116,6 +115,13 @@ def test_table4_blocking_census(benchmark):
     )
     mp_share = message_passing_share(counts)
     print(f"message-passing share: {mp_share:.1%} (paper: >80%)")
+    emit(
+        "table4_blocking",
+        metric="message_passing_share",
+        value=round(mp_share, 4),
+        seed=5,
+        total_goroutines=total,
+    )
     for block_type, paper_share in PAPER_SHARES.items():
         ours = counts[block_type] / total
         assert ours == pytest.approx(paper_share, abs=0.03), block_type

@@ -21,6 +21,7 @@ from repro.fleet import (
 )
 from repro.patterns import timeout_leak
 
+from _emit import emit
 from conftest import print_table
 
 GB = 1024**3
@@ -131,6 +132,19 @@ def test_table5_fix_impact(benchmark):
         "Table V: service-wide peak utilization before/after fix (GB)",
         ["svc", "#inst", "before", "after", "saved", "paper saved", "capacity"],
         rows,
+    )
+    emit(
+        "table5_fixes",
+        metric="services_fixed",
+        value=len(results),
+        mean_saved_fraction=round(
+            sum(
+                1 - r["after_total_gb"] / r["peak_before_total_gb"]
+                for _name, r in results
+            )
+            / len(results),
+            3,
+        ),
     )
     for name, r in results:
         _n, _i, paper_before, paper_after, _cb, _ca = paper_by_name[name]

@@ -14,6 +14,8 @@ Subpackages:
 * :mod:`repro.devflow` — CI pipeline simulation (PR gating + fix gate).
 * :mod:`repro.remedy` — automated leak triage & remediation engine
   (detect → diagnose → fix → verify → rollout).
+* :mod:`repro.gc` — reachability-based leak proof engine with live
+  goroutine reclamation (LIVE / POSSIBLY_LEAKED / PROVEN_LEAKED).
 * :mod:`repro.analysis` — small statistics helpers (RMS, percentiles).
 
 See DESIGN.md for the per-experiment index and EXPERIMENTS.md for

@@ -13,14 +13,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from repro.goleak import (
-    InstrumentedTarget,
-    SuppressionList,
-    TestTarget,
-    verify_test_main,
-)
+from repro.goleak import SuppressionList, TestTarget, verify_test_main
 from repro.patterns import PATTERNS, healthy
 
 #: Leak patterns a buggy PR may introduce, with rough prevalence weights

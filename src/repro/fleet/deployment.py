@@ -9,7 +9,7 @@ deploy cycles and why Fig 1's RSS collapses when the fix lands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from .cpu import CpuModel
 from .service import ServiceInstance, WINDOW_SECONDS
@@ -28,6 +28,10 @@ class ServiceConfig:
     base_rss: int = 256 * 1024 * 1024
     #: Scale factor: how many real instances each simulated one stands for.
     instances_represented: int = 1
+    #: Per-instance repro.gc sweep cadence in virtual seconds (None = off).
+    gc_interval: Optional[float] = None
+    #: repro.gc.GCPolicy applied by those sweeps (None = observe only).
+    gc_policy: Optional[object] = None
 
     def with_mix(self, mix: RequestMix) -> "ServiceConfig":
         return replace(self, mix=mix)
@@ -69,6 +73,8 @@ class Service:
             seed=self.seed * 1000 + self.deploys * 100 + index,
             name=f"{self.config.name}/i-{index}",
             start_time=start_time,
+            gc_interval=self.config.gc_interval,
+            gc_policy=self.config.gc_policy,
         )
 
     def _start_instances(self, start_time: float) -> None:

@@ -10,8 +10,8 @@ injected artificially.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.profiling import GoroutineProfile
 from repro.runtime import Runtime
@@ -49,6 +49,8 @@ class ServiceInstance:
         seed: int = 0,
         name: Optional[str] = None,
         start_time: float = 0.0,
+        gc_interval: Optional[float] = None,
+        gc_policy: Optional[object] = None,
     ):
         self.service = service
         self.mix = mix
@@ -62,6 +64,14 @@ class ServiceInstance:
             panic_mode="record",
         )
         self.runtime.now = start_time
+        #: Per-instance reachability-sweep cadence (virtual seconds).
+        #: When set, every window's idle tail runs repro.gc sweeps that
+        #: annotate the profiles LeakProf later collects (and, with a
+        #: reclaiming policy, vanquish proven leaks without a redeploy).
+        self.gc_interval = gc_interval
+        self.gc_policy = gc_policy
+        if gc_interval is not None:
+            self.runtime.enable_gc(gc_interval, policy=gc_policy)
         self.requests_served = 0
         self.metrics: List[InstanceMetrics] = []
 

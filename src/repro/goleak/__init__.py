@@ -21,10 +21,12 @@ from .api import (
 )
 from .classify import (
     BlockType,
+    EXTERNALLY_WAKEABLE_TYPES,
     GUARANTEED_DEADLOCK_TYPES,
     MESSAGE_PASSING_TYPES,
     census,
     classify,
+    is_externally_wakeable,
     message_passing_share,
 )
 from .instrument import (
@@ -46,6 +48,7 @@ from .options import (
 
 __all__ = [
     "BlockType",
+    "EXTERNALLY_WAKEABLE_TYPES",
     "GUARANTEED_DEADLOCK_TYPES",
     "InstrumentedTarget",
     "LeakError",
@@ -66,6 +69,7 @@ __all__ = [
     "ignore_created_by",
     "ignore_current",
     "ignore_top_function",
+    "is_externally_wakeable",
     "max_retries",
     "message_passing_share",
     "trial_run",

@@ -41,15 +41,38 @@ def format_leaks(leaks: Sequence[GoroutineRecord]) -> str:
     return "\n".join(lines)
 
 
-def find(runtime: Runtime, *options) -> List[GoroutineRecord]:
+def find(
+    runtime: Runtime, *options, strategy: str = "snapshot"
+) -> List[GoroutineRecord]:
     """Collect lingering goroutines, retrying to let stragglers finish.
 
-    The retry loop advances the *virtual* clock between snapshots, so a
-    goroutine that only needed another few milliseconds (e.g. draining a
-    buffered channel) is not misreported — mirroring goleak's real-time
-    backoff without wall-clock cost.
+    With the default ``strategy="snapshot"`` the retry loop advances the
+    *virtual* clock between snapshots, so a goroutine that only needed
+    another few milliseconds (e.g. draining a buffered channel) is not
+    misreported — mirroring goleak's real-time backoff without
+    wall-clock cost.
+
+    ``strategy="reachability"`` replaces the exit-point snapshot with a
+    :mod:`repro.gc` sweep and reports exactly the goroutines *proven*
+    leaked — no retries, no grace period, and no test exit point needed:
+    a proof is already exact, so slow-but-healthy goroutines can never
+    be misreported.
     """
     opts = build_options(*options)
+    if strategy == "reachability":
+        runtime.gc()
+        profile = GoroutineProfile.take(runtime)
+        return [
+            record
+            for record in profile.records
+            if record.proof == "proven"
+            and not record.name.startswith("_goleak")
+            and not opts.ignored(record)
+        ]
+    if strategy != "snapshot":
+        raise ValueError(
+            f"unknown strategy {strategy!r}; use 'snapshot' or 'reachability'"
+        )
     leaks = _lingering(runtime, opts)
     attempt = 0
     while leaks and attempt < opts.retries:
@@ -69,9 +92,16 @@ def _lingering(runtime: Runtime, opts: Options) -> List[GoroutineRecord]:
     ]
 
 
-def verify_none(runtime: Runtime, *options) -> None:
-    """Assert no unexpected goroutines linger (``goleak.VerifyNone``)."""
-    leaks = find(runtime, *options)
+def verify_none(
+    runtime: Runtime, *options, strategy: str = "snapshot"
+) -> None:
+    """Assert no unexpected goroutines linger (``goleak.VerifyNone``).
+
+    ``strategy="reachability"`` asserts on *proven* leaks instead of
+    exit-point residue — an exact alternative that also works mid-run,
+    where a snapshot would misreport still-working goroutines.
+    """
+    leaks = find(runtime, *options, strategy=strategy)
     if leaks:
         raise LeakError(leaks)
 

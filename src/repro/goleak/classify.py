@@ -7,7 +7,10 @@ from collections import Counter
 from typing import Dict, Iterable
 
 from repro.profiling import GoroutineRecord
-from repro.runtime.goroutine import GoroutineState
+from repro.runtime.goroutine import (
+    EXTERNALLY_WAKEABLE_STATES,
+    GoroutineState,
+)
 
 
 class BlockType(enum.Enum):
@@ -48,6 +51,29 @@ GUARANTEED_DEADLOCK_TYPES = frozenset(
     }
 )
 
+#: States whose wakeup may come from outside the process, mapped to
+#: their Table IV rows.  Derived from the scheduler's shared
+#: ``EXTERNALLY_WAKEABLE_STATES`` — the deadlock detector, goleak, and
+#: the repro.gc root set all consult the same predicate, never a second
+#: hand-maintained list.
+_EXTERNALLY_WAKEABLE_ROWS = {
+    GoroutineState.IO_WAIT: BlockType.IO_WAIT,
+    GoroutineState.SYSCALL: BlockType.SYSCALL,
+}
+assert set(_EXTERNALLY_WAKEABLE_ROWS) == EXTERNALLY_WAKEABLE_STATES
+
+#: The same set at the BlockType level, for report consumers.
+EXTERNALLY_WAKEABLE_TYPES = frozenset(_EXTERNALLY_WAKEABLE_ROWS.values())
+
+
+def is_externally_wakeable(record: GoroutineRecord) -> bool:
+    """Shared predicate: can something outside the process wake this?
+
+    True exactly when the scheduler's global-deadlock check would also
+    give the goroutine the benefit of the doubt.
+    """
+    return record.state in EXTERNALLY_WAKEABLE_STATES
+
 
 def classify(record: GoroutineRecord) -> BlockType:
     """Map one lingering goroutine to its Table IV row."""
@@ -64,10 +90,8 @@ def classify(record: GoroutineRecord) -> BlockType:
         if record.wait_detail in ("0", None):
             return BlockType.SELECT_NO_CASES
         return BlockType.SELECT
-    if state is GoroutineState.IO_WAIT:
-        return BlockType.IO_WAIT
-    if state is GoroutineState.SYSCALL:
-        return BlockType.SYSCALL
+    if state in EXTERNALLY_WAKEABLE_STATES:
+        return _EXTERNALLY_WAKEABLE_ROWS[state]
     if state is GoroutineState.SLEEPING:
         return BlockType.SLEEP
     if state is GoroutineState.COND_WAIT:

@@ -10,7 +10,7 @@ contains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Protocol, Tuple
 
 from repro.profiling import GoroutineProfile, dump_text, parse_text

@@ -29,6 +29,10 @@ class Suspect:
     location: str  # file:line of the blocking operation
     count: int
     representative: GoroutineRecord  # one stack for the report
+    #: "proven" when the instance's repro.gc sweep proved the leak; such
+    #: suspects bypass Criterion 1 (threshold) and Criterion 2 (transient
+    #: filter) entirely — a proof needs no statistical corroboration.
+    proof: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -45,7 +49,10 @@ def scan_profile(
 
     Implements both of the paper's criteria: counts below ``threshold``
     are dropped (Criterion 1), and operations static analysis proves
-    transiently blocking are dropped (Criterion 2).
+    transiently blocking are dropped (Criterion 2).  A third tier
+    overrides both: locations whose goroutines carry a repro.gc
+    ``proof=proven`` annotation are promoted regardless of count — the
+    reachability engine already proved they can never be woken.
     """
     by_signature: Dict[Tuple[str, str], List[GoroutineRecord]] = {}
     for record in profile.blocked():
@@ -56,6 +63,20 @@ def scan_profile(
 
     suspects: List[Suspect] = []
     for (state, location), records in by_signature.items():
+        proven = [r for r in records if r.proof == "proven"]
+        if proven:
+            suspects.append(
+                Suspect(
+                    service=profile.service,
+                    instance=profile.instance,
+                    state=state,
+                    location=location,
+                    count=len(records),
+                    representative=proven[0],
+                    proof="proven",
+                )
+            )
+            continue
         if len(records) < threshold:
             continue
         if apply_transient_filter and is_trivially_nonblocking(records[0]):

@@ -9,7 +9,7 @@ routing → filed reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.profiling import GoroutineProfile
 

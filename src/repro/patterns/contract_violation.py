@@ -11,7 +11,7 @@ variant where cancellation is wired by the caller.
 
 from __future__ import annotations
 
-from repro.runtime import case_recv, go, recv_ok, select, send, sleep
+from repro.runtime import case_recv, go, select, send, sleep
 from repro.runtime import context as goctx
 
 

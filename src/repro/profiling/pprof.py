@@ -38,7 +38,8 @@ _STANZA_RE = re.compile(
     r"^goroutine (?P<gid>\d+) \[(?P<state>[^,\]]+)"
     r"(?:, (?P<wait>[\d.eE+-]+)s)?"
     r"(?:, (?P<detail>[^\]]+))?\]"
-    r"(?: name=(?P<name>\S+))?:$"
+    r"(?: name=(?P<name>\S+))?"
+    r"(?: proof=(?P<proof>\S+))?:$"
 )
 
 _STATE_BY_VALUE = {state.value: state for state in GoroutineState}
@@ -59,7 +60,10 @@ def dump_text(profile: GoroutineProfile) -> str:
             header += f", {record.wait_seconds!r}s"
         if record.wait_detail is not None:
             header += f", {record.wait_detail}"
-        header += f"] name={record.name}:"
+        header += f"] name={record.name}"
+        if record.proof is not None:
+            header += f" proof={record.proof}"
+        header += ":"
         lines.append(header)
         for frame in record.frames:
             lines.append(f"{frame.function}()")
@@ -134,6 +138,7 @@ def parse_text(text: str) -> GoroutineProfile:
                 creation_ctx=creation,
                 wait_seconds=float(stanza.group("wait") or 0.0),
                 wait_detail=stanza.group("detail"),
+                proof=stanza.group("proof"),
             )
         )
     return profile

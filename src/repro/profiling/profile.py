@@ -71,6 +71,9 @@ class GoroutineRecord:
     wait_seconds: float = 0.0
     #: "nil" | "chan" for channel ops; number of parked arms for selects.
     wait_detail: Optional[str] = None
+    #: repro.gc verdict from the runtime's last sweep ("live" /
+    #: "possible" / "proven"), or None when no sweep annotated it.
+    proof: Optional[str] = None
 
     @property
     def frames(self) -> Tuple[Frame, ...]:
@@ -119,6 +122,7 @@ def snapshot_goroutine(goro: Goroutine, now: float) -> GoroutineRecord:
         creation_ctx=goro.creation_ctx,
         wait_seconds=wait_seconds,
         wait_detail=wait_detail,
+        proof=goro.gc_verdict,
     )
 
 

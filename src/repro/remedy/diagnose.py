@@ -69,7 +69,7 @@ class Diagnosis:
     """The triage verdict for one leak record or suspect."""
 
     pattern: Pattern
-    confidence: str  # "exact" | "loose" | "prior"
+    confidence: str  # "exact" | "loose" | "prior" | "proof"
     signature: LeakSignature
     record: GoroutineRecord
 
@@ -156,6 +156,24 @@ def default_index() -> SignatureIndex:
     return _default_index
 
 
+def _pattern_pinned_by_proof(
+    state: str, wait_detail: Optional[str]
+) -> Optional[str]:
+    """The pattern a proof pins *unambiguously*, or None.
+
+    Only the §VI-D guaranteed deadlocks qualify: a nil-channel op or an
+    empty select admits exactly one pattern, so the probe phase buys
+    nothing.  Every other category holds several patterns — there the
+    proof names the leak but not its shape, and fingerprinting is still
+    required to pick the right fix.
+    """
+    if wait_detail == "nil":
+        return "nil_send" if state == "chan send" else "nil_recv"
+    if state == "select" and wait_detail in ("0", None):
+        return "empty_select"
+    return None
+
+
 def _prior_pattern(state: str, wait_detail: Optional[str]) -> Optional[str]:
     """Highest-prior pattern of the suspect's category (PAPER_CAUSE_MIX)."""
     if wait_detail == "nil":
@@ -179,6 +197,15 @@ def diagnose(
     ``evidence`` is a LeakProf :class:`Suspect` (its representative stack
     is used) or a raw goleak :class:`GoroutineRecord`.  Returns None only
     for records that are not channel-blocked (nothing to diagnose).
+
+    When the record carries a repro.gc ``proof`` that pins the pattern
+    unambiguously — the proof already names the unreachable channel and
+    park site, and for the §VI-D guaranteed deadlocks (nil-channel ops,
+    empty selects) exactly one pattern fits — the probe phase is
+    skipped entirely and the diagnosis carries ``confidence="proof"``.
+    Ambiguous categories still go through fingerprinting: a proof says
+    *that* the goroutine leaked, not *which shape* of leak it is, and
+    the fix catalog needs the shape.
     """
     record = (
         evidence.representative if isinstance(evidence, Suspect) else evidence
@@ -186,6 +213,17 @@ def diagnose(
     signature = LeakSignature.of(record)
     if signature.state not in STATE_CATEGORIES:
         return None
+    if index is None and getattr(record, "proof", None) == "proven":
+        name = _pattern_pinned_by_proof(
+            signature.state, signature.wait_detail
+        )
+        if name is not None:
+            return Diagnosis(
+                pattern=PATTERNS[name],
+                confidence="proof",
+                signature=signature,
+                record=record,
+            )
     name, confidence = (index or default_index()).lookup(signature)
     if name is None:
         name = _prior_pattern(signature.state, signature.wait_detail)

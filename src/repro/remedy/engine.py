@@ -32,7 +32,7 @@ from repro.leakprof.reports import BugDatabase, LeakReport
 
 from .diagnose import SignatureIndex, default_index, diagnose
 from .fixes import UnfixableLeak, propose_fix, remix
-from .rollout import RolloutResult, StagedRollout
+from .rollout import StagedRollout
 from .tickets import RemediationTicket, TicketTracker
 from .verify import verify_fix
 

@@ -22,6 +22,7 @@ from .errors import (
     CloseOfClosedChannel,
     CloseOfNilChannel,
     GlobalDeadlock,
+    LeakReclaimed,
     Panic,
     SchedulerExhausted,
     SendOnClosedChannel,
@@ -30,6 +31,7 @@ from .goroutine import (
     BLOCKED_STATES,
     CHANNEL_BLOCKED_STATES,
     DEFAULT_STACK_BYTES,
+    EXTERNALLY_WAKEABLE_STATES,
     Goroutine,
     GoroutineState,
 )
@@ -73,8 +75,10 @@ __all__ = [
     "DEFAULT_CASE",
     "DEFAULT_STACK_BYTES",
     "ErrGroup",
+    "EXTERNALLY_WAKEABLE_STATES",
     "Frame",
     "GlobalDeadlock",
+    "LeakReclaimed",
     "GoOp",
     "Goroutine",
     "GoroutineState",

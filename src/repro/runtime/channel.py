@@ -22,13 +22,10 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Deque, Optional, Tuple
 
 from .errors import CloseOfClosedChannel, CloseOfNilChannel, SendOnClosedChannel
-from .goroutine import Goroutine, GoroutineState
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .scheduler import Runtime
+from .goroutine import Goroutine
 
 _chan_ids = itertools.count(1)
 
@@ -118,6 +115,7 @@ class Channel:
         "recv_waiters",
         "closed",
         "alloc_site",
+        "version",
         "__weakref__",
     )
 
@@ -137,6 +135,10 @@ class Channel:
         self.recv_waiters: Deque[Waiter] = deque()
         self.closed = False
         self.alloc_site = alloc_site
+        #: Monotonic mutation counter (buffer, waiter queues, close).  The
+        #: repro.gc reference tracker compares it against the version it
+        #: last scanned to skip channels whose contents cannot have changed.
+        self.version = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -222,10 +224,12 @@ class Channel:
         receiver = self._pop_recv_waiter()
         while receiver is not None:
             if receiver.complete():
+                self.version += 1
                 self._deliver(receiver, value, ok=True)
                 return True
             receiver = self._pop_recv_waiter()
         if len(self.buffer) < self.capacity:
+            self.version += 1
             self.buffer.append(value)
             return True
         return False
@@ -237,6 +241,7 @@ class Channel:
         channel is closed and drained (Go's zero-value receive).
         """
         if self.buffer:
+            self.version += 1
             value = self.buffer.popleft()
             # A parked sender can now move its value into the freed slot.
             sender = self._pop_send_waiter()
@@ -250,6 +255,7 @@ class Channel:
         sender = self._pop_send_waiter()
         while sender is not None:
             if sender.complete():
+                self.version += 1
                 value = sender.value
                 self._wake_sender(sender)
                 return True, value, True
@@ -259,9 +265,11 @@ class Channel:
         return False, None, False
 
     def park_sender(self, waiter: Waiter) -> None:
+        self.version += 1
         self.send_waiters.append(waiter)
 
     def park_receiver(self, waiter: Waiter) -> None:
+        self.version += 1
         self.recv_waiters.append(waiter)
 
     def close(self) -> None:
@@ -269,6 +277,7 @@ class Channel:
         if self.closed:
             raise CloseOfClosedChannel()
         self.closed = True
+        self.version += 1
         while self.recv_waiters:
             waiter = self.recv_waiters.popleft()
             if waiter.stale or not waiter.complete():
@@ -318,6 +327,7 @@ class NilChannel:
     label = "nil"
     capacity = 0
     closed = False
+    version = 0
 
     @property
     def is_nil(self) -> bool:

@@ -9,7 +9,7 @@ these contracts (caller never cancels, callee returns early on
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from .channel import Channel
 

@@ -48,6 +48,22 @@ class CloseOfNilChannel(Panic):
         super().__init__("close of nil channel")
 
 
+class LeakReclaimed(Panic):
+    """Controlled unwind injected into a proven-leaked goroutine.
+
+    The reclaimer (:mod:`repro.gc.reclaim`) raises this at the park site
+    of a goroutine the mark engine proved can never be woken.  Like
+    ``runtime.Goexit`` it unwinds the goroutine (``finally`` blocks run)
+    without counting as a crash: the scheduler finishes the goroutine
+    quietly when the exception reaches the top of its generator chain.
+    A goroutine that *catches* it and keeps running survives reclamation
+    (the analog of ``recover()``), which later sweeps will observe.
+    """
+
+    def __init__(self, reason: str = "goroutine leak reclaimed"):
+        super().__init__(reason)
+
+
 class GlobalDeadlock(RuntimeError_):
     """All goroutines are blocked and no timer can unblock them.
 

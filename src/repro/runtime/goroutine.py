@@ -45,6 +45,15 @@ BLOCKED_STATES = frozenset(
 #: Blocked states that a timer is guaranteed to eventually exit.
 _TIMED_STATES = frozenset({GoroutineState.SLEEPING})
 
+#: States the runtime cannot prove anything about because the wakeup comes
+#: from outside the process (network readiness, kernel return).  The single
+#: source of truth shared by the scheduler's global-deadlock check, goleak's
+#: classification, and the repro.gc mark engine's root set — one predicate,
+#: not three lists.
+EXTERNALLY_WAKEABLE_STATES = frozenset(
+    {GoroutineState.IO_WAIT, GoroutineState.SYSCALL}
+)
+
 #: Channel-blocked states (candidate partial deadlocks).
 CHANNEL_BLOCKED_STATES = frozenset(
     {
@@ -84,6 +93,7 @@ class Goroutine:
         "result",
         "panic",
         "is_main",
+        "gc_verdict",
         "_cached_stack",
     )
 
@@ -117,6 +127,10 @@ class Goroutine:
         self.result: Any = None
         self.panic: Optional[BaseException] = None
         self.is_main = is_main
+        #: Verdict string from the last repro.gc sweep ("live" /
+        #: "possible" / "proven"), or None when no sweep has run.  Stale
+        #: verdicts are cleared the moment the goroutine is woken.
+        self.gc_verdict: Optional[str] = None
         self._cached_stack: Optional[Tuple[Frame, ...]] = None
 
     # -- scheduling helpers -------------------------------------------------
@@ -147,6 +161,7 @@ class Goroutine:
         self.waiting_on = None
         self.blocked_since = None
         self.pending_value = value
+        self.gc_verdict = None
         self._cached_stack = None
         self.runtime._enqueue(self)
 
@@ -156,6 +171,7 @@ class Goroutine:
         self.waiting_on = None
         self.blocked_since = None
         self.pending_exception = exc
+        self.gc_verdict = None
         self._cached_stack = None
         self.runtime._enqueue(self)
 

@@ -18,8 +18,8 @@ resumes the generator with the operation's result (if any).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
 
 #: Sentinel index returned by a select whose ``default`` arm ran.
 DEFAULT_CASE = -1

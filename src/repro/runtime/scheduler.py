@@ -26,9 +26,10 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 import random
 
 from .channel import Channel, NIL_CHANNEL, Payload, Waiter
-from .errors import GlobalDeadlock, Panic, SchedulerExhausted
+from .errors import GlobalDeadlock, LeakReclaimed, Panic, SchedulerExhausted
 from .goroutine import (
     DEFAULT_STACK_BYTES,
+    EXTERNALLY_WAKEABLE_STATES,
     Goroutine,
     GoroutineState,
 )
@@ -64,9 +65,9 @@ _PARK_STATES = {
 }
 
 #: Park states the Go deadlock detector ignores (IO may complete externally).
-_EXTERNALLY_WAKEABLE = frozenset(
-    {GoroutineState.IO_WAIT, GoroutineState.SYSCALL}
-)
+#: Alias of the shared set in :mod:`repro.runtime.goroutine` so the
+#: scheduler, goleak, and the repro.gc mark engine agree by construction.
+_EXTERNALLY_WAKEABLE = EXTERNALLY_WAKEABLE_STATES
 
 
 class _Timer:
@@ -150,6 +151,12 @@ class Runtime:
         self._channels: "weakref.WeakSet[Channel]" = weakref.WeakSet()
         self.main: Optional[Goroutine] = None
         self.panics: List[Tuple[Goroutine, BaseException]] = []
+        #: External objects pinned as GC roots (e.g. fleet request sources
+        #: holding channel handles from outside the runtime).
+        self.gc_roots: List[Any] = []
+        #: Lazily-created repro.gc state (tracker + engine + reports).
+        self._gc_state: Optional[Any] = None
+        self._gc_timer: Optional[_Timer] = None
 
     # ------------------------------------------------------------------
     # Channels and timers
@@ -227,6 +234,8 @@ class Runtime:
         )
         self._goroutines[gid] = goro
         self.goroutines_spawned += 1
+        if self._gc_state is not None:
+            self._gc_state.tracker.mark_dirty(gid)
         if is_main:
             self.main = goro
         self._enqueue(goro)
@@ -241,6 +250,8 @@ class Runtime:
         goro.retained_bytes = 0
         goro.gen = None  # release frames so channels/values can be collected
         self.goroutines_finished += 1
+        if self._gc_state is not None:
+            self._gc_state.tracker.forget(goro.gid)
         if not goro.is_main:
             # Done goroutines leave the address space entirely; keep main
             # for run() to read its result.
@@ -253,6 +264,8 @@ class Runtime:
         goro.gen = None
         self.panics.append((goro, exc))
         self._goroutines.pop(goro.gid, None)
+        if self._gc_state is not None:
+            self._gc_state.tracker.forget(goro.gid)
         if self.panic_mode == "raise":
             raise exc
 
@@ -266,6 +279,10 @@ class Runtime:
             return  # stale queue entry (finished or re-parked meanwhile)
         goro.state = GoroutineState.RUNNING
         self.steps += 1
+        if self._gc_state is not None:
+            # Frame locals can only change while the goroutine runs, so
+            # this is the one place the reference tracker must be told.
+            self._gc_state.tracker.mark_dirty(goro.gid)
         try:
             if goro.pending_exception is not None:
                 exc = goro.pending_exception
@@ -277,6 +294,11 @@ class Runtime:
                 op = goro.gen.send(value)
         except StopIteration as stop:
             self._finish(goro, stop.value)
+            return
+        except LeakReclaimed:
+            # The reclaimer's controlled unwind reached the top of the
+            # goroutine: a Goexit-style exit, not a crash.
+            self._finish(goro, None)
             return
         except Panic as panic:
             self._record_panic(goro, panic)
@@ -425,6 +447,10 @@ class Runtime:
         for when, _seq, timer in self._timers:
             if timer.cancelled:
                 continue
+            if timer is self._gc_timer:
+                # The periodic sweep never counts as pending work: GC
+                # must not mask a deadlock nor keep the process alive.
+                continue
             if deadline is not None and when > deadline:
                 continue
             return True
@@ -438,6 +464,17 @@ class Runtime:
                 heapq.heappop(self._timers)
                 continue
             if deadline is not None and when > deadline:
+                return False
+            if (
+                deadline is None
+                and timer is self._gc_timer
+                and not self._has_pending_timers(None)
+            ):
+                # Only the self-rescheduling sweep timer remains: firing
+                # it can never make a goroutine runnable, so an
+                # unbounded run would spin forever.  Quiesce instead —
+                # exactly like a real GC, sweeps don't keep the process
+                # alive.
                 return False
             break
         else:
@@ -510,6 +547,62 @@ class Runtime:
         for channel in self._channels:
             total += channel.buffered_bytes + channel.pending_send_bytes
         return total
+
+    # ------------------------------------------------------------------
+    # Reachability GC (the repro.gc proof engine's runtime entry points)
+    # ------------------------------------------------------------------
+
+    def gc(self, full: bool = False, policy: Optional[Any] = None) -> Any:
+        """Run one reachability sweep; returns a :class:`repro.gc.GCReport`.
+
+        Classifies every parked goroutine as LIVE / POSSIBLY_LEAKED /
+        PROVEN_LEAKED from the runtime's own books (see
+        :mod:`repro.gc.mark`) and — depending on ``policy`` — reclaims
+        proven leaks in place.  Incremental by default: only subgraphs
+        dirtied since the previous sweep are re-scanned and goroutines
+        already proven leaked are never re-marked (a proof is stable: an
+        unreachable channel can never become reachable again).  ``full``
+        forces a from-scratch re-mark.
+        """
+        from repro.gc.sweep import run_sweep  # deferred: repro.gc imports us
+
+        return run_sweep(self, full=full, policy=policy)
+
+    def enable_gc(
+        self,
+        interval: float,
+        policy: Optional[Any] = None,
+        full: bool = False,
+    ) -> None:
+        """Schedule periodic sweeps every ``interval`` virtual seconds.
+
+        The sweep timer keeps rescheduling itself but never counts as
+        pending work: a run without a ``deadline`` still quiesces once
+        the sweep timer is the only thing left on the clock, and the
+        global-deadlock check ignores it.
+        """
+        if interval <= 0:
+            raise ValueError("non-positive gc interval")
+        self.disable_gc()
+
+        def sweep_and_reschedule() -> None:
+            self.gc(full=full, policy=policy)
+            self._gc_timer = self.call_later(interval, sweep_and_reschedule)
+
+        self._gc_timer = self.call_later(interval, sweep_and_reschedule)
+
+    def disable_gc(self) -> None:
+        """Cancel the periodic sweep (sweep state and proofs are kept)."""
+        if self._gc_timer is not None:
+            self._gc_timer.cancel()
+            self._gc_timer = None
+
+    @property
+    def gc_reports(self) -> List[Any]:
+        """Reports of every sweep this runtime has run, oldest first."""
+        if self._gc_state is None:
+            return []
+        return self._gc_state.reports
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -19,11 +19,10 @@ paper's point that dynamic analysis is abstraction-proof.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Optional
 
-from .channel import Channel
 from .errors import Panic
-from .ops import GoOp, WaitOp, go
+from .ops import GoOp, go
 from .sync import WaitGroup
 
 

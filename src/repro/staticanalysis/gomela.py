@@ -22,7 +22,7 @@ put Gomela's measured precision (34%) below GCatch's and GOAT's.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from .ir import (
     Alias,

@@ -29,7 +29,6 @@ from .ir import (
     Direct,
     DYNAMIC,
     ForRange,
-    FuncDef,
     Go,
     If,
     Indirect,

@@ -12,10 +12,9 @@ lands where the paper's Table III does — for the paper's stated reasons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Set
 
 from .ir import (
-    Alias,
     Anon,
     Call,
     Close,

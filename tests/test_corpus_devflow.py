@@ -15,7 +15,6 @@ from repro.devflow import (
     projected_annual_prevention,
     simulate,
 )
-from repro.goleak import SuppressionList
 
 
 @pytest.fixture(scope="module")

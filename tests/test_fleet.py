@@ -14,7 +14,7 @@ from repro.fleet import (
     capacity_for,
 )
 from repro.leakprof import LeakProf
-from repro.patterns import healthy, premature_return, timeout_leak
+from repro.patterns import healthy, timeout_leak
 
 MB = 1024 * 1024
 

@@ -6,7 +6,6 @@ fast smoke checks that the headline claims hold together as a system.
 
 import functools
 
-import pytest
 
 from repro.devflow import projected_annual_prevention, simulate
 from repro.fleet import Fleet, RequestMix, Service, ServiceConfig, TrafficShape

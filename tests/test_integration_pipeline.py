@@ -11,7 +11,6 @@ Exercises the complete lifecycle across module boundaries:
       -> the next sweep is quiet and memory is recovered
 """
 
-import pytest
 
 from repro.devflow import CIPipeline, PRGenerator
 from repro.fleet import Fleet, RequestMix, Service, ServiceConfig, TrafficShape

@@ -2,26 +2,17 @@
 
 import functools
 
-import pytest
 
 from repro.leakprof import (
     BugDatabase,
     LeakProf,
     OwnershipRouter,
-    ReportStatus,
     is_trivially_nonblocking,
     rank_by_impact,
     scan_profile,
-    sweep,
 )
 from repro.profiling import GoroutineProfile
-from repro.patterns import (
-    healthy,
-    premature_return,
-    timer_loop,
-    timeout_leak,
-    unclosed_range,
-)
+from repro.patterns import healthy, premature_return, timer_loop, timeout_leak
 from repro.runtime import Runtime
 
 

@@ -15,7 +15,7 @@ from repro.patterns import (
     timer_loop,
     unclosed_range,
 )
-from repro.runtime import GoroutineState, Runtime
+from repro.runtime import Runtime
 
 
 def run_pattern(fn, seed=0, **params):

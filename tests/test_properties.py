@@ -6,7 +6,6 @@ select-with-default non-blocking, goleak/Fact-1 agreement, scheduler
 determinism, and the statistics helpers.
 """
 
-import functools
 
 from hypothesis import given, settings, strategies as st
 
@@ -16,7 +15,6 @@ from repro.patterns import PATTERNS
 from repro.profiling import GoroutineProfile, dump_text, parse_text
 from repro.runtime import (
     DEFAULT_CASE,
-    GoroutineState,
     Payload,
     Runtime,
     case_recv,

@@ -10,15 +10,12 @@ from repro.fleet import Fleet, RequestMix, Service, ServiceConfig, TrafficShape
 from repro.leakprof import BugDatabase, LeakProf, OwnershipRouter, ReportStatus
 from repro.patterns import PATTERNS, healthy, ncast, timeout_leak
 from repro.remedy import (
-    Diagnosis,
     FIX_STRATEGIES,
-    LeakSignature,
     RemedyEngine,
     SignatureIndex,
     StagedRollout,
     TicketTracker,
     UnfixableLeak,
-    default_index,
     diagnose,
     drained,
     exercise,

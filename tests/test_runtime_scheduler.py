@@ -4,7 +4,6 @@ import pytest
 
 from repro.runtime import (
     GlobalDeadlock,
-    GoroutineState,
     Panic,
     Runtime,
     SchedulerExhausted,
@@ -14,11 +13,9 @@ from repro.runtime import (
     gosched,
     park,
     recv,
-    select,
     send,
     sleep,
 )
-from repro.runtime.ops import case_recv
 
 
 class TestVirtualClock:

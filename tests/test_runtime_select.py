@@ -213,6 +213,121 @@ class TestBlockingSelect:
         ]
 
 
+class TestSelectEdgeCases:
+    """resolve_select corners: nil-only arms, closed+default, stale tickets."""
+
+    def test_all_nil_arms_park_with_no_channels(self):
+        """Nil arms are skipped at park time: the goroutine ends up
+        blocked on an empty channel tuple, indistinguishable from
+        ``select {}`` — and provably dead."""
+
+        def main(rt):
+            def stuck():
+                yield select(case_recv(NIL_CHANNEL), case_recv(NIL_CHANNEL))
+
+            yield go(stuck)
+            yield sleep(0.1)
+
+        rt = Runtime(seed=0)
+        rt.run(main, rt, deadline=1.0, detect_global_deadlock=False)
+        (goro,) = rt.live_goroutines()
+        assert goro.state is GoroutineState.BLOCKED_SELECT
+        assert goro.waiting_on == ()
+        report = rt.gc()
+        assert report.proven_leaked == 1
+
+    def test_default_with_closed_recv_arm_prefers_the_ready_arm(self):
+        """A closed channel's receive arm is ready, so default must NOT
+        fire; the arm yields the zero value with ok=False."""
+
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            idx, (val, ok) = yield select(case_recv_ok(ch), default=True)
+            return idx, val, ok
+
+        rt = Runtime(seed=0)
+        assert rt.run(main, rt) == (0, None, False)
+
+    def test_default_with_closed_send_arm_panics_not_defaults(self):
+        """Send on a closed channel is 'ready' in select semantics — it
+        proceeds by panicking even when a default arm is present."""
+
+        def main(rt):
+            ch = rt.make_chan(0)
+            ch.close()
+            yield select(case_send(ch, 1), default=True)
+
+        with pytest.raises(SendOnClosedChannel):
+            Runtime(seed=0).run(main, Runtime(seed=0))
+
+    def test_default_with_closed_and_buffered_arms_drains_buffer_first(self):
+        def main(rt):
+            ch = rt.make_chan(2)
+            yield send(ch, "a")
+            ch.close()
+            first = yield select(case_recv_ok(ch), default=True)
+            second = yield select(case_recv_ok(ch), default=True)
+            return first, second
+
+        rt = Runtime(seed=0)
+        assert rt.run(main, rt) == ((0, ("a", True)), (0, (None, False)))
+
+    def test_stale_ticket_waiters_discarded_lazily(self):
+        """The losing arm's waiter stays enqueued (dequeue-and-discard,
+        as in Go's runtime) until a later queue scan purges it."""
+
+        def main(rt):
+            a = rt.make_chan(0)
+            b = rt.make_chan(0)
+
+            def selector():
+                yield select(case_recv(a), case_recv(b))
+
+            yield go(selector)
+            yield sleep(0.1)  # selector parks on both arms
+            assert len(a.recv_waiters) == 1 and len(b.recv_waiters) == 1
+            yield send(b, "win")  # arm b fires; arm a's waiter goes stale
+            stale = a.recv_waiters[0]
+            assert stale.stale and stale.ticket.done
+            # lazily discarded: a peek skips it, a fresh send cannot
+            # complete against it...
+            assert a._peek_recv_waiter() is None
+            assert not a.try_send("lost")
+            # ...and the scan dropped it from the queue.
+            assert len(a.recv_waiters) == 0
+            return "ok"
+
+        rt = Runtime(seed=0)
+        assert rt.run(main, rt) == "ok"
+        assert rt.num_goroutines == 0
+
+    def test_close_skips_stale_select_senders(self):
+        """close() must not panic a sender whose select already fired
+        through a sibling arm."""
+
+        def main(rt):
+            full = rt.make_chan(0)
+            ready = rt.make_chan(1)
+
+            def selector(out):
+                idx, _ = yield select(case_send(full, "x"), case_recv(ready))
+                yield send(out, idx)
+
+            out = rt.make_chan(1)
+            yield go(selector, out)
+            yield sleep(0.1)
+            yield send(ready, "go")  # recv arm wins; send arm goes stale
+            idx = yield recv(out)
+            full.close()  # stale sender must be skipped, not panicked
+            yield sleep(0.1)
+            return idx
+
+        rt = Runtime(seed=0)
+        assert rt.run(main, rt) == 1
+        assert rt.num_goroutines == 0
+
+
 class TestSelectPanics:
     def test_ready_send_on_closed_panics(self):
         def main(rt):

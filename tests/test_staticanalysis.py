@@ -30,8 +30,6 @@ from repro.staticanalysis.ir import (
     MakeChan,
     Recv,
     Return,
-    SelectCaseIR,
-    SelectStmt,
     Send,
 )
 from repro.staticanalysis.programs import DEFAULT_CORPUS_WEIGHTS

@@ -1,6 +1,5 @@
 """Wrapper spawns: safe_go and ErrGroup, and their visibility to the tools."""
 
-import pytest
 
 from repro.goleak import find, verify_none
 from repro.leakprof import scan_profile
