@@ -1,0 +1,400 @@
+"""Scheduler & monitoring throughput: O(1) accounting vs the old scans.
+
+The paper's fleet evidence (Fig 6: ~10.7k instances, 8.6M blocked
+goroutines at peak) only works if *observing* an instance costs O(1), not
+O(population): the pre-change runtime re-walked every goroutine and every
+channel on each ``rss()`` / census read, and re-captured the full stack
+on every park.  This bench measures both regimes on the same runtime:
+
+* **raw step throughput** — a channel ping-pong workload interpreted with
+  the old ``isinstance``-chain dispatch + eager park-stack capture
+  (restored via monkeypatch) vs the shipped per-type handler table +
+  lazy stack capture;
+* **fleet-window sampling** — 1k service instances holding 100k parked
+  leaked goroutines in total, sampled with the old full scans
+  (``audit=True`` paths) vs the O(1) counter reads.
+
+The emitted JSON doubles as the CI regression gate: the committed
+``baseline_steps_per_sec`` is pinned, and a fresh run failing to reach
+70% of it (>30% regression) fails the benchmarks job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+from repro.fleet import RequestMix, ServiceInstance, TrafficShape
+from repro.runtime import Runtime
+from repro.runtime import scheduler as sched
+from repro.runtime.errors import (
+    GlobalDeadlock,
+    LeakReclaimed,
+    Panic,
+    SchedulerExhausted,
+)
+from repro.runtime.goroutine import Goroutine, GoroutineState
+from repro.runtime.ops import (
+    AllocOp,
+    BurnOp,
+    FreeOp,
+    GoOp,
+    ParkOp,
+    RecvOp,
+    SelectOp,
+    SendOp,
+    SleepOp,
+    WaitOp,
+    YieldOp,
+    alloc,
+    go,
+    recv,
+    send,
+)
+from repro.runtime.selects import resolve_select
+from repro.runtime.stack import capture_stack
+
+from _emit import ARTIFACT_DIR, emit
+from conftest import print_table
+
+SEED = 5
+PING_ROUNDS = 20_000
+FLEET_INSTANCES = 1_000
+LEAKS_PER_INSTANCE = 100  # 100k parked leaked goroutines fleet-wide
+SAMPLING_WINDOWS = 3
+WINDOW = 3600.0
+
+#: CI gate: fail when measured steps/sec drops >30% below the pinned value.
+REGRESSION_TOLERANCE = 0.30
+
+
+@contextmanager
+def legacy_mode():
+    """Faithfully restore the pre-change hot paths for the 'before' runs.
+
+    Everything the perf PR touched reverts to its prior shape: the
+    ``isinstance``-chain dispatch, eager stack capture on every park,
+    direct state writes without census upkeep (the old code had no
+    counters to maintain — legacy runs get that saving back), the
+    ``_enqueue`` call layer, and the unhoisted run loop.  The ``_do_*``
+    handlers are shared, so the comparison isolates the hot-path rewrite.
+    Census counters are left stale inside legacy runs; the runtimes are
+    throwaways and only ``steps``/wall-clock are read.
+    """
+    saved = (
+        Goroutine.block,
+        Goroutine.make_runnable,
+        Goroutine.throw,
+        Runtime._step,
+        Runtime.run_until_quiescent,
+    )
+
+    def old_block(self, state, waiting_on=None):
+        self.state = state
+        self.waiting_on = waiting_on
+        self.blocked_since = self.runtime.now
+        self._cached_stack = capture_stack(self.gen)
+
+    def old_make_runnable(self, value=None):
+        self.state = GoroutineState.RUNNABLE
+        self.waiting_on = None
+        self.blocked_since = None
+        self.pending_value = value
+        self.gc_verdict = None
+        self._cached_stack = None
+        self.runtime._enqueue(self)
+
+    def old_throw(self, exc):
+        self.state = GoroutineState.RUNNABLE
+        self.waiting_on = None
+        self.blocked_since = None
+        self.pending_exception = exc
+        self.gc_verdict = None
+        self._cached_stack = None
+        self.runtime._enqueue(self)
+
+    def old_run_until_quiescent(
+        self,
+        deadline=None,
+        max_steps=sched.DEFAULT_MAX_STEPS,
+        detect_global_deadlock=False,
+    ):
+        self._steps_base = self.steps
+        budget = max_steps
+        while True:
+            while self._run_queue:
+                if self.steps >= budget + self._steps_base:
+                    raise SchedulerExhausted(self.steps)
+                self._step()
+            fired = self._advance_clock(deadline)
+            if not fired:
+                break
+        if (
+            detect_global_deadlock
+            and self.main is not None
+            and self.main.alive
+            and not self._has_pending_timers(deadline)
+        ):
+            live = [g for g in self._goroutines.values() if g.alive]
+            if live and all(
+                g.blocked and g.state not in sched._EXTERNALLY_WAKEABLE
+                for g in live
+            ):
+                raise GlobalDeadlock(len(live))
+        if deadline is not None and self.now < deadline:
+            self.now = deadline
+
+    def chain_dispatch(self, goro, op):
+        if isinstance(op, SendOp):
+            self._do_send(goro, op)
+        elif isinstance(op, RecvOp):
+            self._do_recv(goro, op)
+        elif isinstance(op, SelectOp):
+            resolve_select(self, goro, op)
+        elif isinstance(op, GoOp):
+            self._do_go(goro, op)
+        elif isinstance(op, SleepOp):
+            self._do_sleep(goro, op)
+        elif isinstance(op, ParkOp):
+            self._do_park(goro, op)
+        elif isinstance(op, AllocOp):
+            self._do_alloc(goro, op)
+        elif isinstance(op, FreeOp):
+            self._do_free(goro, op)
+        elif isinstance(op, BurnOp):
+            self._do_burn(goro, op)
+        elif isinstance(op, WaitOp):
+            self._do_wait(goro, op)
+        elif isinstance(op, YieldOp):
+            self._do_yield(goro, op)
+        else:
+            raise TypeError(f"goroutine {goro.name!r} yielded non-effect {op!r}")
+
+    def legacy_step(self):
+        goro = self._run_queue.popleft()
+        if goro.state is not GoroutineState.RUNNABLE:
+            return
+        goro.state = GoroutineState.RUNNING
+        self.steps += 1
+        if self._gc_state is not None:
+            self._gc_state.tracker.mark_dirty(goro.gid)
+        try:
+            if goro.pending_exception is not None:
+                exc = goro.pending_exception
+                goro.pending_exception = None
+                op = goro.gen.throw(exc)
+            else:
+                value = goro.pending_value
+                goro.pending_value = None
+                op = goro.gen.send(value)
+        except StopIteration as stop:
+            self._finish(goro, stop.value)
+            return
+        except LeakReclaimed:
+            self._finish(goro, None)
+            return
+        except Panic as panic:
+            self._record_panic(goro, panic)
+            return
+        chain_dispatch(self, goro, op)
+
+    Goroutine.block = old_block
+    Goroutine.make_runnable = old_make_runnable
+    Goroutine.throw = old_throw
+    Runtime._step = legacy_step
+    Runtime.run_until_quiescent = old_run_until_quiescent
+    try:
+        yield
+    finally:
+        (
+            Goroutine.block,
+            Goroutine.make_runnable,
+            Goroutine.throw,
+            Runtime._step,
+            Runtime.run_until_quiescent,
+        ) = saved
+
+
+# ---------------------------------------------------------------------------
+# Raw step throughput: channel ping-pong
+# ---------------------------------------------------------------------------
+
+
+def run_ping_pong(rounds: int) -> Runtime:
+    """Two goroutines exchanging ``rounds`` messages over unbuffered chans.
+
+    The channel ops live one ``yield from`` helper deep, mirroring how
+    every workload in this repo blocks (pattern bodies, ``chan_range``,
+    the remedy ``drained`` harness all delegate to sub-generators) — the
+    park-site stack is a real chain, as it is in production Go.
+    """
+    rt = Runtime(seed=SEED)
+
+    def transmit(ch, value):
+        yield send(ch, value)
+
+    def receive(ch):
+        return (yield recv(ch))
+
+    def player_a(ping, pong, done):
+        for _ in range(rounds):
+            yield from transmit(ping, 1)
+            yield from receive(pong)
+        yield from transmit(done, True)
+
+    def player_b(ping, pong):
+        for _ in range(rounds):
+            yield from receive(ping)
+            yield from transmit(pong, 1)
+
+    def main(rt):
+        ping = rt.make_chan()
+        pong = rt.make_chan()
+        done = rt.make_chan()
+        yield go(player_a, ping, pong, done)
+        yield go(player_b, ping, pong)
+        yield from receive(done)
+
+    rt.run(main, rt)
+    return rt
+
+
+def measure_steps_per_sec() -> float:
+    run_ping_pong(500)  # warmup
+    best = 0.0
+    for _ in range(2):
+        start = time.perf_counter()
+        rt = run_ping_pong(PING_ROUNDS)
+        elapsed = time.perf_counter() - start
+        best = max(best, rt.steps / elapsed)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Fleet-window sampling: 1k instances, 100k parked leaked goroutines
+# ---------------------------------------------------------------------------
+
+
+def build_leaky_fleet():
+    def victim(ch):
+        yield alloc(2048)
+        yield recv(ch)  # parked forever: the leak
+
+    def leak_seed(rt):
+        ch = rt.make_chan()
+        for _ in range(LEAKS_PER_INSTANCE):
+            yield go(victim, ch)
+
+    instances = []
+    for index in range(FLEET_INSTANCES):
+        instance = ServiceInstance(
+            service="fleetbench",
+            mix=RequestMix(),
+            traffic=TrafficShape(requests_per_window=0),
+            seed=SEED * 1000 + index,
+            name=f"fleetbench/i-{index}",
+        )
+        instance.runtime.run(
+            leak_seed, instance.runtime, detect_global_deadlock=False
+        )
+        instances.append(instance)
+    return instances
+
+
+def legacy_window(instance: ServiceInstance, window: float) -> None:
+    """The pre-change ``advance_window`` sampling: full scans per sample."""
+    rt = instance.runtime
+    t = rt.now
+    rt.advance(max(0.0, (t + window) - rt.now))
+    rt.rss(audit=True)
+    len(rt.live_goroutines())
+    instance.cpu_model.utilization(rt.now, len(rt.blocked_goroutines()))
+
+
+def measure_windows_per_sec(instances, legacy: bool) -> float:
+    start = time.perf_counter()
+    for _ in range(SAMPLING_WINDOWS):
+        if legacy:
+            for instance in instances:
+                legacy_window(instance, WINDOW)
+        else:
+            for instance in instances:
+                instance.advance_window(WINDOW)
+    elapsed = time.perf_counter() - start
+    return SAMPLING_WINDOWS / elapsed
+
+
+# ---------------------------------------------------------------------------
+# The bench
+# ---------------------------------------------------------------------------
+
+
+def test_sched_and_sampling_throughput():
+    with legacy_mode():
+        legacy_sps = measure_steps_per_sec()
+    fast_sps = measure_steps_per_sec()
+    step_speedup = fast_sps / legacy_sps
+
+    instances = build_leaky_fleet()
+    total_parked = sum(i.runtime.blocked_goroutines_count for i in instances)
+    assert total_parked == FLEET_INSTANCES * LEAKS_PER_INSTANCE
+    legacy_wps = measure_windows_per_sec(instances, legacy=True)
+    fast_wps = measure_windows_per_sec(instances, legacy=False)
+    sampling_speedup = fast_wps / legacy_wps
+
+    print_table(
+        "Scheduler & monitoring throughput (before = scans, after = counters)",
+        ["metric", "before", "after", "speedup"],
+        [
+            (
+                "steps/sec (ping-pong)",
+                f"{legacy_sps:,.0f}",
+                f"{fast_sps:,.0f}",
+                f"{step_speedup:.2f}x",
+            ),
+            (
+                f"fleet windows/sec ({FLEET_INSTANCES} inst, {total_parked:,} parked)",
+                f"{legacy_wps:.3f}",
+                f"{fast_wps:.3f}",
+                f"{sampling_speedup:.1f}x",
+            ),
+        ],
+    )
+
+    artifact = ARTIFACT_DIR / "BENCH_sched_throughput.json"
+    committed = {}
+    if artifact.exists():
+        committed = json.loads(artifact.read_text())
+    baseline = committed.get("baseline_steps_per_sec") or round(fast_sps)
+
+    emit(
+        "sched_throughput",
+        metric="fleet_window_sampling_speedup",
+        value=round(sampling_speedup, 1),
+        unit="x",
+        seed=SEED,
+        steps_per_sec=round(fast_sps),
+        legacy_steps_per_sec=round(legacy_sps),
+        step_speedup=round(step_speedup, 2),
+        windows_per_sec=round(fast_wps, 3),
+        legacy_windows_per_sec=round(legacy_wps, 3),
+        fleet_instances=FLEET_INSTANCES,
+        parked_leaked_goroutines=total_parked,
+        sampling_windows=SAMPLING_WINDOWS,
+        ping_rounds=PING_ROUNDS,
+        baseline_steps_per_sec=baseline,
+    )
+
+    assert sampling_speedup >= 5.0, (
+        f"fleet-window sampling only {sampling_speedup:.1f}x faster"
+    )
+    assert step_speedup >= 1.5, (
+        f"raw step throughput only {step_speedup:.2f}x faster"
+    )
+    # CI regression gate against the committed baseline.
+    floor = (1.0 - REGRESSION_TOLERANCE) * baseline
+    assert fast_sps >= floor, (
+        f"steps/sec regressed >30%: {fast_sps:,.0f} < {floor:,.0f} "
+        f"(baseline {baseline:,})"
+    )

@@ -27,13 +27,20 @@ _instance_ids = itertools.count()
 
 @dataclass
 class InstanceMetrics:
-    """One sample of an instance's health (a monitoring datapoint)."""
+    """One sample of an instance's health (a monitoring datapoint).
+
+    Sampling is O(1) per instance: every field comes from the runtime's
+    incrementally-maintained counters, so monitoring cost scales with the
+    number of instances — never with how many goroutines each has leaked.
+    """
 
     t: float
     rss_bytes: int
     goroutines: int
     cpu_percent: float
     requests_served: int
+    #: Parked goroutines at sample time (the leak signal, an O(1) read).
+    blocked_goroutines: int = 0
 
 
 class ServiceInstance:
@@ -96,12 +103,14 @@ class ServiceInstance:
             self.serve_one(handler)
         # idle the remainder of the window (leaked goroutines just sit)
         self.runtime.advance(max(0.0, (t + window) - self.runtime.now))
+        # Counter reads only: a sample never touches per-goroutine state.
         sample = InstanceMetrics(
             t=self.runtime.now,
             rss_bytes=self.rss(),
             goroutines=self.runtime.num_goroutines,
             cpu_percent=self.cpu_utilization(),
             requests_served=request_count,
+            blocked_goroutines=self.runtime.blocked_goroutines_count,
         )
         self.metrics.append(sample)
         return sample
@@ -109,10 +118,12 @@ class ServiceInstance:
     # -- observability (what the paper's infra sees) -------------------------
 
     def rss(self) -> int:
+        """O(1): the runtime's incremental RSS counter."""
         return self.runtime.rss()
 
     def leaked_goroutines(self) -> int:
-        return len(self.runtime.blocked_goroutines())
+        """O(1): the runtime's parked-goroutine census, not a scan."""
+        return self.runtime.blocked_goroutines_count
 
     def cpu_utilization(self) -> float:
         return self.cpu_model.utilization(

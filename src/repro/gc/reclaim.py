@@ -79,10 +79,17 @@ class ReclaimStats:
 
 
 def _purge_waiters(goro: Goroutine) -> int:
-    """Remove the goroutine's parked waiters; returns payload bytes freed."""
+    """Remove the goroutine's parked waiters; returns payload bytes freed.
+
+    Byte accounting: each purged non-stale send waiter's payload is
+    charged back to its channel (keeping the runtime's incremental RSS
+    counters exact), and any select tickets left behind are disarmed so
+    their payload registrations can never double-release.
+    """
     waiting = goro.waiting_on
     released = 0
     channels: List[Channel] = []
+    orphaned_tickets = []
     if isinstance(waiting, Channel):
         channels = [waiting]
     elif isinstance(waiting, tuple):
@@ -104,11 +111,19 @@ def _purge_waiters(goro: Goroutine) -> int:
             for waiter in queue:
                 if waiter.goro is goro:
                     if queue_name == "send_waiters" and not waiter.stale:
-                        released += payload_bytes(waiter.value)
+                        nbytes = payload_bytes(waiter.value)
+                        released += nbytes
+                        channel._charge_pending(-nbytes)
+                    if waiter.ticket is not None:
+                        orphaned_tickets.append(waiter.ticket)
                     continue
                 kept.append(waiter)
             setattr(channel, queue_name, kept)
         channel.version += 1
+    # Every waiter of these tickets belonged to the purged goroutine, so
+    # nothing can complete them anymore; drop their registrations outright.
+    for ticket in orphaned_tickets:
+        ticket.pending_sends = None
     return released
 
 

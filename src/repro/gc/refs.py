@@ -271,10 +271,18 @@ class ReferenceTracker:
         return out
 
     def timer_refs(self) -> Tuple[FrozenSet[Parkable], FrozenSet[int]]:
-        """(parkables, goroutine gids) the pending timers can wake."""
+        """(parkables, goroutine gids) the pending timers can wake.
+
+        The runtime's own GC sweep timer is skipped: a sweep classifies
+        and reclaims but never delivers a wakeup to user code, so it is
+        not a root (the same exemption the scheduler's deadlock check
+        applies).  The timer heap is lazily compacted by the runtime, so
+        cancelled-ticker tombstones no longer inflate this walk.
+        """
+        runtime = self._runtime
         scanner = ValueScanner()
-        for _when, _seq, timer in self._runtime._timers:
-            if not timer.cancelled:
+        for _when, _seq, timer in runtime._timers:
+            if not timer.cancelled and timer is not runtime._gc_timer:
                 scanner.scan(timer.callback)
         self.values_visited += scanner.visited
         return frozenset(scanner.refs), frozenset(scanner.goroutines)

@@ -30,6 +30,10 @@ class SweepStats:
     instances_swept: int = 0
     goroutines_seen: int = 0
     bytes_transferred: int = 0
+    #: Parked goroutines across swept instances, taken from each
+    #: runtime's O(1) census *before* the profile is even serialized —
+    #: the cheap fleet-health headline a sweep can report instantly.
+    blocked_goroutines: int = 0
 
 
 def sweep(
@@ -39,11 +43,16 @@ def sweep(
     """Collect one profile from every instance.
 
     With ``via_text`` (the default) each profile goes through the text
-    serialization round-trip, as over the wire.
+    serialization round-trip, as over the wire.  When an instance exposes
+    its runtime, the blocked-goroutine headline is read from the O(1)
+    census counter rather than recounted from the parsed profile.
     """
     stats = SweepStats()
     profiles: List[GoroutineProfile] = []
     for instance in instances:
+        runtime = getattr(instance, "runtime", None)
+        if runtime is not None:
+            stats.blocked_goroutines += runtime.blocked_goroutines_count
         profile = instance.profile()
         if via_text:
             text = dump_text(profile)

@@ -145,13 +145,21 @@ class GoroutineProfile:
         instance: Optional[str] = None,
         exclude: Iterable[int] = (),
     ) -> "GoroutineProfile":
-        """Snapshot ``runtime`` (negligible overhead, like pprof capture)."""
-        excluded = set(exclude)
-        records = [
-            snapshot_goroutine(g, runtime.now)
-            for g in runtime.live_goroutines()
-            if g.gid not in excluded
-        ]
+        """Snapshot ``runtime`` (negligible overhead, like pprof capture).
+
+        An idle process is detected from the O(1) goroutine counter, so
+        profiling a fleet of mostly-healthy instances skips the record
+        walk entirely on the instances with nothing to report.
+        """
+        if runtime.num_goroutines == 0:
+            records: List[GoroutineRecord] = []
+        else:
+            excluded = set(exclude)
+            records = [
+                snapshot_goroutine(g, runtime.now)
+                for g in runtime.live_goroutines()
+                if g.gid not in excluded
+            ]
         return cls(
             taken_at=runtime.now,
             process=runtime.name,

@@ -15,22 +15,49 @@ Memory accounting: values wrapped in :class:`Payload` carry a byte size that
 is charged to the channel while buffered and to the receiving goroutine's
 retained heap once delivered (freed when that goroutine exits).  This is the
 mechanism by which a leaked goroutine pins heap, per the paper's Section II.
+
+Accounting is *incremental*: every buffer or parked-sender mutation adjusts
+running byte counters on the channel and reports the delta to the owning
+runtime, so ``Runtime.rss()`` is a counter read instead of a walk over every
+channel.  Select send-arms register their payload on the shared
+:class:`SelectTicket`; when any sibling arm fires, the ticket releases every
+registered payload at once — the moment those waiters become stale.  A
+``weakref.finalize`` hook returns a collected channel's remaining bytes to
+the runtime, mirroring how the old ``WeakSet`` scan simply stopped seeing
+dead channels.
 """
 
 from __future__ import annotations
 
 import itertools
+import weakref
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Deque, List, Optional, Tuple
 
 from .errors import CloseOfClosedChannel, CloseOfNilChannel, SendOnClosedChannel
 from .goroutine import Goroutine
 
 _chan_ids = itertools.count(1)
 
+#: Indices into a channel's accounting cell (shared with its finalizer).
+_BUFFERED = 0
+_PENDING = 1
 
-@dataclass(frozen=True)
+
+def _return_channel_bytes(runtime_ref: "weakref.ref", acct: List[int]) -> None:
+    """Finalizer: a collected channel's bytes leave the runtime's books.
+
+    Mirrors the scan-based accounting, where a garbage-collected channel
+    silently dropped out of the ``WeakSet`` walk.  Takes the mutable
+    accounting cell (never the channel itself, which is already dead).
+    """
+    runtime = runtime_ref()
+    if runtime is not None:
+        runtime._chan_bytes -= acct[_BUFFERED] + acct[_PENDING]
+
+
+@dataclass(frozen=True, slots=True)
 class Payload:
     """A channel value annotated with a heap size for RSS modeling."""
 
@@ -50,12 +77,30 @@ class SelectTicket:
     waiters left enqueued on sibling channels are skipped and garbage-
     collected lazily on the next queue scan (the standard "dequeue and
     discard" scheme Go's runtime uses for select).
+
+    Send arms carrying :class:`Payload` bytes register them here so the
+    instant the ticket completes — when every sibling becomes stale — the
+    bytes leave each channel's pending-send counter without any queue walk.
     """
 
-    __slots__ = ("done",)
+    __slots__ = ("done", "pending_sends")
 
     def __init__(self) -> None:
         self.done = False
+        #: Lazily-built [(channel, nbytes), ...] of parked send-arm payloads.
+        self.pending_sends: Optional[List[Tuple["Channel", int]]] = None
+
+    def register_payload(self, channel: "Channel", nbytes: int) -> None:
+        if self.pending_sends is None:
+            self.pending_sends = []
+        self.pending_sends.append((channel, nbytes))
+
+    def release_payloads(self) -> None:
+        """Drop every registered payload from its channel's pending books."""
+        if self.pending_sends is not None:
+            for channel, nbytes in self.pending_sends:
+                channel._charge_pending(-nbytes)
+            self.pending_sends = None
 
 
 class Waiter:
@@ -88,6 +133,7 @@ class Waiter:
         if self.ticket.done:
             return False
         self.ticket.done = True
+        self.ticket.release_payloads()
         return True
 
     def resume_value(self, received: Any, ok: bool) -> Any:
@@ -116,6 +162,9 @@ class Channel:
         "closed",
         "alloc_site",
         "version",
+        "_rt",
+        "_acct",
+        "_fin",
         "__weakref__",
     )
 
@@ -139,26 +188,64 @@ class Channel:
         #: repro.gc reference tracker compares it against the version it
         #: last scanned to skip channels whose contents cannot have changed.
         self.version = 0
+        #: Owning runtime (set by ``Runtime.make_chan``); byte deltas are
+        #: reported to it so process RSS never re-walks channels.
+        self._rt: Optional[Any] = None
+        #: [buffered bytes, pending-send bytes] — a mutable cell shared
+        #: with the finalizer so collection can return the remainder.
+        self._acct: List[int] = [0, 0]
+        self._fin: Optional[Any] = None
+
+    # -- byte accounting -----------------------------------------------------
+
+    def _charge(self, index: int, delta: int) -> None:
+        """Adjust one byte counter and mirror the delta on the owner."""
+        self._acct[index] += delta
+        runtime = self._rt
+        if runtime is not None:
+            runtime._chan_bytes += delta
+            if self._fin is None:
+                # First payload byte on an owned channel: arrange for the
+                # contribution to be returned when the channel is GC'd.
+                self._fin = weakref.finalize(
+                    self, _return_channel_bytes, weakref.ref(runtime), self._acct
+                )
+
+    def _charge_buffered(self, delta: int) -> None:
+        if delta:
+            self._charge(_BUFFERED, delta)
+
+    def _charge_pending(self, delta: int) -> None:
+        if delta:
+            self._charge(_PENDING, delta)
 
     # -- introspection -------------------------------------------------------
 
-    @property
-    def is_nil(self) -> bool:
-        return False
+    #: Class constant (not a property: ``is_nil`` is checked on every
+    #: send/recv, and a Python-level property call is measurable there).
+    is_nil = False
 
     @property
     def buffered_bytes(self) -> int:
-        """Heap bytes pinned by values sitting in the buffer."""
-        return sum(payload_bytes(v) for v in self.buffer)
+        """Heap bytes pinned by values sitting in the buffer (O(1) read)."""
+        return self._acct[_BUFFERED]
 
     @property
     def pending_send_bytes(self) -> int:
-        """Heap bytes pinned by parked senders' undelivered values.
+        """Heap bytes pinned by parked senders' undelivered values (O(1)).
 
         This is the memory-leak mechanism of the paper's Listing 1: a
         sender blocked forever keeps its message (and everything reachable
         from it) live.
         """
+        return self._acct[_PENDING]
+
+    def _scan_buffered_bytes(self) -> int:
+        """Debug/audit path: recompute buffered bytes by walking the deque."""
+        return sum(payload_bytes(v) for v in self.buffer)
+
+    def _scan_pending_send_bytes(self) -> int:
+        """Debug/audit path: recompute pending bytes by walking the queue."""
         return sum(
             payload_bytes(w.value) for w in self.send_waiters if not w.stale
         )
@@ -192,6 +279,18 @@ class Channel:
                 return waiter
         return None
 
+    def has_recv_waiter(self) -> bool:
+        """True when a receiver is parked and claimable right now.
+
+        The public form of the waiter peek — used by tickers to decide
+        whether a tick can be handed straight to a receiver.
+        """
+        return self._peek_recv_waiter() is not None
+
+    def has_send_waiter(self) -> bool:
+        """True when a sender is parked and claimable right now."""
+        return self._peek_send_waiter() is not None
+
     def send_ready(self) -> bool:
         """Would a send complete without blocking right now?
 
@@ -221,16 +320,18 @@ class Channel:
         """
         if self.closed:
             raise SendOnClosedChannel()
-        receiver = self._pop_recv_waiter()
-        while receiver is not None:
-            if receiver.complete():
-                self.version += 1
-                self._deliver(receiver, value, ok=True)
-                return True
+        if self.recv_waiters:
             receiver = self._pop_recv_waiter()
+            while receiver is not None:
+                if receiver.complete():
+                    self.version += 1
+                    self._deliver(receiver, value, ok=True)
+                    return True
+                receiver = self._pop_recv_waiter()
         if len(self.buffer) < self.capacity:
             self.version += 1
             self.buffer.append(value)
+            self._charge_buffered(payload_bytes(value))
             return True
         return False
 
@@ -243,29 +344,55 @@ class Channel:
         if self.buffer:
             self.version += 1
             value = self.buffer.popleft()
+            if isinstance(value, Payload):
+                self._charge(_BUFFERED, -value.nbytes)
             # A parked sender can now move its value into the freed slot.
             sender = self._pop_send_waiter()
             while sender is not None:
                 if sender.complete():
-                    self.buffer.append(sender.value)
+                    moved = sender.value
+                    if isinstance(moved, Payload):
+                        # Select arms settle via the ticket in complete().
+                        if sender.ticket is None:
+                            self._charge(_PENDING, -moved.nbytes)
+                        self._charge(_BUFFERED, moved.nbytes)
+                    self.buffer.append(moved)
                     self._wake_sender(sender)
                     break
                 sender = self._pop_send_waiter()
             return True, value, True
-        sender = self._pop_send_waiter()
-        while sender is not None:
-            if sender.complete():
-                self.version += 1
-                value = sender.value
-                self._wake_sender(sender)
-                return True, value, True
+        if self.send_waiters:
             sender = self._pop_send_waiter()
+            while sender is not None:
+                if sender.complete():
+                    self.version += 1
+                    value = sender.value
+                    if sender.ticket is None and isinstance(value, Payload):
+                        self._charge(_PENDING, -value.nbytes)
+                    self._wake_sender(sender)
+                    return True, value, True
+                sender = self._pop_send_waiter()
         if self.closed:
             return True, None, False
         return False, None, False
 
+    def _settle_pending(self, waiter: Waiter) -> None:
+        """A parked sender just completed: its payload leaves the books.
+
+        Select arms are settled by the ticket (which releases every
+        sibling's registration, including this one's); plain sends are
+        settled here.
+        """
+        if waiter.ticket is None:
+            self._charge_pending(-payload_bytes(waiter.value))
+
     def park_sender(self, waiter: Waiter) -> None:
         self.version += 1
+        nbytes = payload_bytes(waiter.value)
+        if nbytes:
+            self._charge_pending(nbytes)
+            if waiter.ticket is not None:
+                waiter.ticket.register_payload(self, nbytes)
         self.send_waiters.append(waiter)
 
     def park_receiver(self, waiter: Waiter) -> None:
@@ -287,6 +414,8 @@ class Channel:
             waiter = self.send_waiters.popleft()
             if waiter.stale or not waiter.complete():
                 continue
+            # The undelivered payload dies with the panicked send.
+            self._settle_pending(waiter)
             waiter.goro.throw(SendOnClosedChannel())
 
     # -- wakeup plumbing ------------------------------------------------------
@@ -297,8 +426,22 @@ class Channel:
         Delivered values are assumed to be processed and released promptly
         by healthy receivers; heap pinned by *leaked* goroutines is modeled
         explicitly via ``alloc`` and by :attr:`pending_send_bytes`.
+
+        (``Waiter.resume_value`` is inlined here: one wakeup per delivery
+        makes this a per-step call site.)
         """
-        waiter.goro.make_runnable(waiter.resume_value(value, ok))
+        if isinstance(value, Payload):
+            value = value.value
+        if waiter.ticket is not None:
+            if waiter.want_ok:
+                resumed: Any = (waiter.case_index, (value, ok))
+            else:
+                resumed = (waiter.case_index, value)
+        elif waiter.want_ok:
+            resumed = (value, ok)
+        else:
+            resumed = value
+        waiter.goro.make_runnable(resumed)
 
     def _wake_sender(self, waiter: Waiter) -> None:
         if waiter.ticket is not None:
@@ -328,13 +471,14 @@ class NilChannel:
     capacity = 0
     closed = False
     version = 0
-
-    @property
-    def is_nil(self) -> bool:
-        return True
+    is_nil = True
 
     @property
     def buffered_bytes(self) -> int:
+        return 0
+
+    @property
+    def pending_send_bytes(self) -> int:
         return 0
 
     def __len__(self) -> int:
@@ -344,6 +488,12 @@ class NilChannel:
         return False
 
     def recv_ready(self) -> bool:
+        return False
+
+    def has_recv_waiter(self) -> bool:
+        return False
+
+    def has_send_waiter(self) -> bool:
         return False
 
     def try_send(self, value: Any) -> bool:

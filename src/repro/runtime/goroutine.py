@@ -67,6 +67,17 @@ CHANNEL_BLOCKED_STATES = frozenset(
 #: 2 KiB initially in modern Go, but 8 KiB is the paper-era steady state).
 DEFAULT_STACK_BYTES = 8 * 1024
 
+# Each state carries a small-int index into the runtime's census array:
+# state transitions are the hottest bookkeeping in the interpreter, and
+# Enum.__hash__ is a Python-level call we cannot afford per step.
+for _index, _state in enumerate(GoroutineState):
+    _state.census_index = _index
+del _index, _state
+
+
+#: Hot-path constant: the census slot for RUNNABLE.
+_RUNNABLE_INDEX = GoroutineState.RUNNABLE.census_index
+
 
 class Goroutine:
     """A single goroutine: a generator plus scheduler metadata.
@@ -148,45 +159,75 @@ class Goroutine:
     def channel_blocked(self) -> bool:
         return self.state in CHANNEL_BLOCKED_STATES
 
+    # NOTE: every state change below mirrors its delta into the runtime's
+    # census array — that invariant is what makes ``num_goroutines``,
+    # ``blocked_goroutines_count`` and ``state_census`` O(1) reads.  The
+    # updates are inlined (rather than a shared helper) because these are
+    # the hottest three functions in the interpreter.
+
     def block(self, state: GoroutineState, waiting_on: Any = None) -> None:
-        """Park the goroutine; records when and on what it blocked."""
+        """Park the goroutine; records when and on what it blocked.
+
+        The park-time stack is NOT captured here: a suspended generator
+        chain cannot change while parked, so :meth:`stack` snapshots it
+        lazily on first read — blocking stays O(1) and profilers still see
+        the exact block-site stack.
+        """
+        runtime = self.runtime
+        census = runtime._state_census
+        census[self.state.census_index] -= 1
+        census[state.census_index] += 1
         self.state = state
         self.waiting_on = waiting_on
-        self.blocked_since = self.runtime.now
-        self._cached_stack = capture_stack(self.gen)
+        self.blocked_since = runtime.now
+        self._cached_stack = None
 
     def make_runnable(self, value: Any = None) -> None:
         """Wake the goroutine with ``value`` as the result of its last op."""
+        runtime = self.runtime
+        census = runtime._state_census
+        census[self.state.census_index] -= 1
+        census[_RUNNABLE_INDEX] += 1
         self.state = GoroutineState.RUNNABLE
         self.waiting_on = None
         self.blocked_since = None
         self.pending_value = value
         self.gc_verdict = None
         self._cached_stack = None
-        self.runtime._enqueue(self)
+        runtime._run_queue.append(self)
 
     def throw(self, exc: BaseException) -> None:
         """Wake the goroutine by throwing ``exc`` at its suspension point."""
+        runtime = self.runtime
+        census = runtime._state_census
+        census[self.state.census_index] -= 1
+        census[_RUNNABLE_INDEX] += 1
         self.state = GoroutineState.RUNNABLE
         self.waiting_on = None
         self.blocked_since = None
         self.pending_exception = exc
         self.gc_verdict = None
         self._cached_stack = None
-        self.runtime._enqueue(self)
+        runtime._run_queue.append(self)
 
     # -- introspection (what goleak/leakprof consume) -----------------------
 
     def stack(self) -> Tuple[Frame, ...]:
         """Current call stack, leaf first.
 
-        For a blocked goroutine the stack is captured at block time (a
-        suspended generator chain is stable, but caching mirrors how Go's
-        profiler snapshots parked goroutines cheaply).
+        For a blocked goroutine the stack is captured lazily on first read
+        and cached until the goroutine wakes: a suspended generator chain
+        is stable, so the snapshot is identical to one taken at block time
+        — but goroutines that park and wake without ever being profiled
+        never pay for frame walking (the paper's always-on-profiling
+        overhead concern, §V-B).
         """
-        if self._cached_stack is not None:
-            return self._cached_stack
-        return capture_stack(self.gen)
+        cached = self._cached_stack
+        if cached is None:
+            cached = capture_stack(self.gen)
+            if self.state in BLOCKED_STATES:
+                self._cached_stack = cached
+        return cached
 
     def blocking_frame(self) -> Optional[Frame]:
         """The leaf user frame — the source location of the blocking op."""

@@ -14,6 +14,11 @@ with the scheduler by ``yield``-ing one of the effect objects defined here
 
 Each effect corresponds to a Go construct; the scheduler interprets it and
 resumes the generator with the operation's result (if any).
+
+Effects are transient one-shot messages: created, interpreted once, then
+dropped.  They are slotted, identity-compared records (``eq=False``, not
+frozen) because construction sits on the interpreter's per-step hot path —
+treat them as immutable by convention.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ class Op:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class GoOp(Op):
     """Spawn a child goroutine (the ``go`` keyword)."""
 
@@ -40,7 +45,7 @@ class GoOp(Op):
     name: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class SendOp(Op):
     """Blocking channel send: ``ch <- value``."""
 
@@ -48,7 +53,7 @@ class SendOp(Op):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class RecvOp(Op):
     """Blocking channel receive: ``<-ch``.
 
@@ -61,7 +66,7 @@ class RecvOp(Op):
     want_ok: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class RecvCase:
     """A ``case v := <-ch`` arm of a select statement."""
 
@@ -69,7 +74,7 @@ class RecvCase:
     want_ok: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class SendCase:
     """A ``case ch <- value`` arm of a select statement."""
 
@@ -80,7 +85,7 @@ class SendCase:
 SelectCase = Any  # RecvCase | SendCase
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class SelectOp(Op):
     """A select statement over multiple channel operations.
 
@@ -97,14 +102,14 @@ class SelectOp(Op):
     has_default: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class SleepOp(Op):
     """``time.Sleep(duration)`` — park on the virtual clock."""
 
     duration: float
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class ParkOp(Op):
     """Park the goroutine in a non-channel wait state.
 
@@ -119,7 +124,7 @@ class ParkOp(Op):
     duration: Optional[float] = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class AllocOp(Op):
     """Attach ``nbytes`` of heap payload to the current goroutine.
 
@@ -131,14 +136,14 @@ class AllocOp(Op):
     nbytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class FreeOp(Op):
     """Release ``nbytes`` of previously allocated payload early."""
 
     nbytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class BurnOp(Op):
     """Consume ``cpu_seconds`` of simulated CPU time.
 
@@ -149,12 +154,12 @@ class BurnOp(Op):
     cpu_seconds: float
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class YieldOp(Op):
     """``runtime.Gosched()`` — yield the processor, stay runnable."""
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class WaitOp(Op):
     """Block on a sync primitive (WaitGroup, Mutex, Cond, Semaphore).
 

@@ -13,6 +13,14 @@ The runtime also keeps the books the paper's tools need:
 * resident-set-size accounting (stacks + retained heap + channel buffers +
   undelivered payloads of parked senders), and
 * a CPU meter fed by ``burn`` effects (consumed by the fleet simulator).
+
+All of that bookkeeping is *incremental*: counters are adjusted at the only
+points where state can change (spawn/block/wake/finish, alloc/free, channel
+payload mutations, timer push/fire/cancel), so every monitoring read —
+``rss()``, ``num_goroutines``, ``blocked_goroutines_count``,
+``state_census()`` — is O(1) regardless of how many goroutines have leaked.
+Cost scales with work done, not with population; the full scans survive
+only behind ``audit=True`` for the equivalence test suite.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import random
 from .channel import Channel, NIL_CHANNEL, Payload, Waiter
 from .errors import GlobalDeadlock, LeakReclaimed, Panic, SchedulerExhausted
 from .goroutine import (
+    BLOCKED_STATES,
     DEFAULT_STACK_BYTES,
     EXTERNALLY_WAKEABLE_STATES,
     Goroutine,
@@ -64,24 +73,53 @@ _PARK_STATES = {
     "sleep": GoroutineState.SLEEPING,
 }
 
+# Census-array slots used on the interpreter hot path (see
+# GoroutineState.census_index in repro.runtime.goroutine).
+_RUNNABLE_IDX = GoroutineState.RUNNABLE.census_index
+_RUNNING_IDX = GoroutineState.RUNNING.census_index
+_BLOCKED_IDXS = tuple(sorted(s.census_index for s in BLOCKED_STATES))
+
 #: Park states the Go deadlock detector ignores (IO may complete externally).
 #: Alias of the shared set in :mod:`repro.runtime.goroutine` so the
 #: scheduler, goleak, and the repro.gc mark engine agree by construction.
 _EXTERNALLY_WAKEABLE = EXTERNALLY_WAKEABLE_STATES
 
 
+#: Timer-heap compaction: rebuild once the heap holds at least this many
+#: entries AND more than half of them are cancelled tombstones.
+_TIMER_COMPACT_MIN = 32
+
+
 class _Timer:
-    """A scheduled callback on the virtual clock."""
+    """A scheduled callback on the virtual clock.
 
-    __slots__ = ("when", "callback", "cancelled")
+    Carries the bookkeeping flags that keep the runtime's timer census
+    O(1): ``_counted`` (contributes to the live non-GC-timer count) and
+    ``_in_heap`` (a cancellation while scheduled leaves a tombstone the
+    heap compacts lazily).
+    """
 
-    def __init__(self, when: float, callback: Callable[[], None]):
+    __slots__ = ("when", "callback", "cancelled", "runtime", "_counted", "_in_heap")
+
+    def __init__(self, runtime: "Runtime", when: float, callback: Callable[[], None]):
         self.when = when
         self.callback = callback
         self.cancelled = False
+        self.runtime = runtime
+        self._counted = True
+        self._in_heap = True
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        runtime = self.runtime
+        if self._counted:
+            runtime._live_timer_count -= 1
+            self._counted = False
+        if self._in_heap:
+            runtime._cancelled_in_heap += 1
+            runtime._maybe_compact_timers()
 
 
 class Ticker:
@@ -109,7 +147,7 @@ class Ticker:
         if self._stopped or self.channel.closed:
             return
         if len(self.channel.buffer) < self.channel.capacity or (
-            self.channel._peek_recv_waiter() is not None
+            self.channel.has_recv_waiter()
         ):
             self.channel.try_send(self._runtime.now)
         self._schedule()
@@ -151,6 +189,37 @@ class Runtime:
         self._channels: "weakref.WeakSet[Channel]" = weakref.WeakSet()
         self.main: Optional[Goroutine] = None
         self.panics: List[Tuple[Goroutine, BaseException]] = []
+        # -- incremental accounting: every introspection read is O(1) ------
+        #: Live goroutines per state, indexed by ``state.census_index``
+        #: (maintained by block/make_runnable/throw and the lifecycle
+        #: methods below; an array because enum hashing is too slow for
+        #: the per-step transition path).
+        self._state_census: List[int] = [0] * len(GoroutineState)
+        #: Goroutines occupying the address space (alive).
+        self._live_count = 0
+        #: Σ (stack + retained heap) over alive goroutines.
+        self._goroutine_bytes = 0
+        #: Σ (buffered + pending-send payload) over owned channels;
+        #: channels report deltas here (see Channel._charge).
+        self._chan_bytes = 0
+        #: Non-cancelled, non-GC timers currently scheduled.
+        self._live_timer_count = 0
+        #: Cancelled tombstones still sitting in the heap.
+        self._cancelled_in_heap = 0
+        #: Per-op-type interpreter fast path: type(op) -> bound handler.
+        self._handlers: Dict[type, Callable[[Goroutine, Op], None]] = {
+            SendOp: self._do_send,
+            RecvOp: self._do_recv,
+            SelectOp: self._do_select,
+            GoOp: self._do_go,
+            SleepOp: self._do_sleep,
+            ParkOp: self._do_park,
+            AllocOp: self._do_alloc,
+            FreeOp: self._do_free,
+            BurnOp: self._do_burn,
+            WaitOp: self._do_wait,
+            YieldOp: self._do_yield,
+        }
         #: External objects pinned as GC roots (e.g. fleet request sources
         #: holding channel handles from outside the runtime).
         self.gc_roots: List[Any] = []
@@ -163,8 +232,13 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def make_chan(self, capacity: int = 0, label: Optional[str] = None) -> Channel:
-        """``make(chan T, capacity)`` — registers the channel for RSS books."""
+        """``make(chan T, capacity)`` — registers the channel for RSS books.
+
+        The channel reports payload byte deltas to this runtime as they
+        happen; ``rss()`` never re-walks channel contents.
+        """
         channel = Channel(capacity, label=label)
+        channel._rt = self
         self._channels.add(channel)
         return channel
 
@@ -178,9 +252,44 @@ class Runtime:
         return self.call_at(self.now + delay, callback)
 
     def call_at(self, when: float, callback: Callable[[], None]) -> _Timer:
-        timer = _Timer(when, callback)
+        timer = _Timer(self, when, callback)
+        self._live_timer_count += 1
         heapq.heappush(self._timers, (when, next(self._timer_seq), timer))
         return timer
+
+    def _pop_timer_entry(self) -> Tuple[float, int, _Timer]:
+        """Heap pop that keeps the timer census counters exact."""
+        entry = heapq.heappop(self._timers)
+        timer = entry[2]
+        timer._in_heap = False
+        if timer.cancelled:
+            self._cancelled_in_heap -= 1
+        elif timer._counted:
+            self._live_timer_count -= 1
+            timer._counted = False
+        return entry
+
+    def _exempt_timer(self, timer: _Timer) -> None:
+        """Drop a timer from the pending-work census (the GC sweep timer)."""
+        if timer._counted:
+            self._live_timer_count -= 1
+            timer._counted = False
+
+    def _maybe_compact_timers(self) -> None:
+        """Lazily rebuild the heap once >50% of its entries are tombstones.
+
+        Keeps the heap size proportional to *live* timers under
+        start/stop ticker churn instead of growing without bound.
+        """
+        heap = self._timers
+        if len(heap) < _TIMER_COMPACT_MIN or self._cancelled_in_heap * 2 <= len(heap):
+            return
+        for entry in heap:
+            if entry[2].cancelled:
+                entry[2]._in_heap = False
+        self._timers = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(self._timers)
+        self._cancelled_in_heap = 0
 
     def after(self, delay: float) -> Channel:
         """``time.After(delay)`` — capacity-1 channel receiving a timestamp."""
@@ -234,6 +343,9 @@ class Runtime:
         )
         self._goroutines[gid] = goro
         self.goroutines_spawned += 1
+        self._live_count += 1
+        self._state_census[_RUNNABLE_IDX] += 1
+        self._goroutine_bytes += goro.stack_bytes
         if self._gc_state is not None:
             self._gc_state.tracker.mark_dirty(gid)
         if is_main:
@@ -245,6 +357,9 @@ class Runtime:
         self._run_queue.append(goro)
 
     def _finish(self, goro: Goroutine, result: Any) -> None:
+        self._state_census[goro.state.census_index] -= 1
+        self._live_count -= 1
+        self._goroutine_bytes -= goro.stack_bytes + goro.retained_bytes
         goro.state = GoroutineState.DONE
         goro.result = result
         goro.retained_bytes = 0
@@ -258,6 +373,9 @@ class Runtime:
             self._goroutines.pop(goro.gid, None)
 
     def _record_panic(self, goro: Goroutine, exc: BaseException) -> None:
+        self._state_census[goro.state.census_index] -= 1
+        self._live_count -= 1
+        self._goroutine_bytes -= goro.stack_bytes + goro.retained_bytes
         goro.state = GoroutineState.PANICKED
         goro.panic = exc
         goro.retained_bytes = 0
@@ -277,6 +395,9 @@ class Runtime:
         goro = self._run_queue.popleft()
         if goro.state is not GoroutineState.RUNNABLE:
             return  # stale queue entry (finished or re-parked meanwhile)
+        census = self._state_census
+        census[_RUNNABLE_IDX] -= 1
+        census[_RUNNING_IDX] += 1
         goro.state = GoroutineState.RUNNING
         self.steps += 1
         if self._gc_state is not None:
@@ -303,46 +424,73 @@ class Runtime:
         except Panic as panic:
             self._record_panic(goro, panic)
             return
-        self._dispatch(goro, op)
+        # Dispatch inline: a dict keyed on the op's concrete type replaces
+        # the former ``isinstance`` chain — O(1) regardless of op kind.
+        handler = self._handlers.get(op.__class__)
+        if handler is None:
+            self._dispatch(goro, op)
+        else:
+            handler(goro, op)
 
     def _dispatch(self, goro: Goroutine, op: Op) -> None:
-        if isinstance(op, SendOp):
-            self._do_send(goro, op)
-        elif isinstance(op, RecvOp):
-            self._do_recv(goro, op)
-        elif isinstance(op, SelectOp):
-            resolve_select(self, goro, op)
-        elif isinstance(op, GoOp):
-            creation_ctx = None
-            if goro.gen is not None:
-                stack = capture_stack(goro.gen)
-                creation_ctx = stack[0] if stack else None
-            self.spawn(op.fn, *op.args, name=op.name, creation_ctx=creation_ctx)
-            goro.make_runnable(None)
-        elif isinstance(op, SleepOp):
-            self._do_sleep(goro, op.duration)
-        elif isinstance(op, ParkOp):
-            self._do_park(goro, op)
-        elif isinstance(op, AllocOp):
-            goro.retained_bytes += op.nbytes
-            goro.make_runnable(None)
-        elif isinstance(op, FreeOp):
-            goro.retained_bytes = max(0, goro.retained_bytes - op.nbytes)
-            goro.make_runnable(None)
-        elif isinstance(op, BurnOp):
-            self.cpu_seconds += op.cpu_seconds
-            goro.make_runnable(None)
-        elif isinstance(op, WaitOp):
-            primitive = op.primitive
-            if primitive._try_acquire(goro):
-                goro.make_runnable(None)
-            else:
-                primitive._park(goro)
-                goro.block(primitive.wait_state, primitive)
-        elif isinstance(op, YieldOp):
+        """Slow-path dispatch for effect *subclasses* (and bad yields).
+
+        Falls back to one ``isinstance`` walk whose result is cached for
+        the concrete type, so even subclassed effects pay the walk once.
+        """
+        handler = self._resolve_handler(op)
+        if handler is None:
+            raise TypeError(
+                f"goroutine {goro.name!r} yielded non-effect {op!r}"
+            )
+        handler(goro, op)
+
+    def _resolve_handler(
+        self, op: Op
+    ) -> Optional[Callable[[Goroutine, Op], None]]:
+        """Slow path: find a handler for an effect subclass and cache it."""
+        for klass, handler in list(self._handlers.items()):
+            if isinstance(op, klass):
+                self._handlers[type(op)] = handler
+                return handler
+        return None
+
+    def _do_select(self, goro: Goroutine, op: SelectOp) -> None:
+        resolve_select(self, goro, op)
+
+    def _do_go(self, goro: Goroutine, op: GoOp) -> None:
+        creation_ctx = None
+        if goro.gen is not None:
+            stack = capture_stack(goro.gen)
+            creation_ctx = stack[0] if stack else None
+        self.spawn(op.fn, *op.args, name=op.name, creation_ctx=creation_ctx)
+        goro.make_runnable(None)
+
+    def _do_alloc(self, goro: Goroutine, op: AllocOp) -> None:
+        goro.retained_bytes += op.nbytes
+        self._goroutine_bytes += op.nbytes
+        goro.make_runnable(None)
+
+    def _do_free(self, goro: Goroutine, op: FreeOp) -> None:
+        freed = min(goro.retained_bytes, op.nbytes)
+        goro.retained_bytes -= freed
+        self._goroutine_bytes -= freed
+        goro.make_runnable(None)
+
+    def _do_burn(self, goro: Goroutine, op: BurnOp) -> None:
+        self.cpu_seconds += op.cpu_seconds
+        goro.make_runnable(None)
+
+    def _do_wait(self, goro: Goroutine, op: WaitOp) -> None:
+        primitive = op.primitive
+        if primitive._try_acquire(goro):
             goro.make_runnable(None)
         else:
-            raise TypeError(f"goroutine {goro.name!r} yielded non-effect {op!r}")
+            primitive._park(goro)
+            goro.block(primitive.wait_state, primitive)
+
+    def _do_yield(self, goro: Goroutine, op: YieldOp) -> None:
+        goro.make_runnable(None)
 
     def _do_send(self, goro: Goroutine, op: SendOp) -> None:
         channel = op.channel
@@ -357,7 +505,7 @@ class Runtime:
         if sent:
             goro.make_runnable(None)
         else:
-            channel.park_sender(Waiter(goro, value=op.value))
+            channel.park_sender(Waiter(goro, op.value))
             goro.block(GoroutineState.BLOCKED_SEND, channel)
 
     def _do_recv(self, goro: Goroutine, op: RecvOp) -> None:
@@ -371,10 +519,11 @@ class Runtime:
                 value = value.value
             goro.make_runnable((value, ok) if op.want_ok else value)
         else:
-            channel.park_receiver(Waiter(goro, want_ok=op.want_ok))
+            channel.park_receiver(Waiter(goro, None, op.want_ok))
             goro.block(GoroutineState.BLOCKED_RECV, channel)
 
-    def _do_sleep(self, goro: Goroutine, duration: float) -> None:
+    def _do_sleep(self, goro: Goroutine, op: SleepOp) -> None:
+        duration = op.duration
         if duration <= 0:
             goro.make_runnable(None)
             return
@@ -418,14 +567,15 @@ class Runtime:
         ``all goroutines are asleep`` check.
         """
         self._steps_base = self.steps
-        budget = max_steps
+        limit = self.steps + max_steps
+        step = self._step
+        run_queue = self._run_queue
         while True:
-            while self._run_queue:
-                if self.steps >= budget + self._steps_base:
+            while run_queue:
+                if self.steps >= limit:
                     raise SchedulerExhausted(self.steps)
-                self._step()
-            fired = self._advance_clock(deadline)
-            if not fired:
+                step()
+            if not self._advance_clock(deadline):
                 break
         if (
             detect_global_deadlock
@@ -444,16 +594,23 @@ class Runtime:
     _steps_base = 0
 
     def _has_pending_timers(self, deadline: Optional[float]) -> bool:
-        for when, _seq, timer in self._timers:
-            if timer.cancelled:
-                continue
-            if timer is self._gc_timer:
-                # The periodic sweep never counts as pending work: GC
-                # must not mask a deadlock nor keep the process alive.
-                continue
-            if deadline is not None and when > deadline:
-                continue
+        """Is there scheduled work (excluding the GC sweep timer)?
+
+        O(1) for the unbounded case via the live-timer counter; the
+        deadline-bounded form (used once per deadlock check, never per
+        step) falls back to a walk over the — lazily compacted — heap.
+        The GC sweep timer never counts as pending work: GC must not mask
+        a deadlock nor keep the process alive.
+        """
+        if self._live_timer_count == 0:
+            return False
+        if deadline is None:
             return True
+        for when, _seq, timer in self._timers:
+            if timer.cancelled or timer is self._gc_timer:
+                continue
+            if when <= deadline:
+                return True
         return False
 
     def _advance_clock(self, deadline: Optional[float]) -> bool:
@@ -461,7 +618,7 @@ class Runtime:
         while self._timers:
             when, _seq, timer = self._timers[0]
             if timer.cancelled:
-                heapq.heappop(self._timers)
+                self._pop_timer_entry()
                 continue
             if deadline is not None and when > deadline:
                 return False
@@ -479,13 +636,13 @@ class Runtime:
             break
         else:
             return False
-        when, _seq, timer = heapq.heappop(self._timers)
+        when, _seq, timer = self._pop_timer_entry()
         self.now = max(self.now, when)
         timer.callback()
         fired = 1
         # Fire everything else due at (or before) the same instant.
         while self._timers and self._timers[0][0] <= self.now:
-            _when, _seq, timer = heapq.heappop(self._timers)
+            _when, _seq, timer = self._pop_timer_entry()
             if not timer.cancelled:
                 timer.callback()
                 fired += 1
@@ -529,23 +686,71 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def live_goroutines(self) -> List[Goroutine]:
-        """Every goroutine currently occupying the address space."""
+        """Every goroutine currently occupying the address space.
+
+        This is the one deliberately O(n) introspection call: profilers
+        need the actual records.  Monitoring reads (``num_goroutines``,
+        ``blocked_goroutines_count``, ``rss``, ``state_census``) are
+        counter reads and never touch per-goroutine state.
+        """
         return [g for g in self._goroutines.values() if g.alive]
 
     @property
     def num_goroutines(self) -> int:
-        return sum(1 for g in self._goroutines.values() if g.alive)
+        """Live goroutine count — an O(1) counter read."""
+        return self._live_count
 
     def blocked_goroutines(self) -> List[Goroutine]:
+        """The parked goroutine *records* (an O(n) walk, for tools that
+        need the objects).  Monitoring wants :attr:`blocked_goroutines_count`."""
         return [g for g in self._goroutines.values() if g.blocked]
 
-    def rss(self) -> int:
-        """Modeled resident set size of this process, in bytes."""
+    @property
+    def blocked_goroutines_count(self) -> int:
+        """How many goroutines are parked right now — O(1), no iteration."""
+        census = self._state_census
+        total = 0
+        for index in _BLOCKED_IDXS:
+            total += census[index]
+        return total
+
+    def state_census(self, audit: bool = False) -> Dict[GoroutineState, int]:
+        """Live goroutines per scheduling state (nonzero entries only).
+
+        O(1) from the incrementally-maintained counters.  ``audit=True``
+        recomputes the census by scanning every goroutine — the debug path
+        the property test suite uses to prove counter/scan equivalence.
+        """
+        if audit:
+            scanned: Dict[GoroutineState, int] = {}
+            for goro in self._goroutines.values():
+                if goro.alive:
+                    scanned[goro.state] = scanned.get(goro.state, 0) + 1
+            return scanned
+        census = self._state_census
+        return {
+            state: census[state.census_index]
+            for state in GoroutineState
+            if census[state.census_index]
+        }
+
+    def rss(self, audit: bool = False) -> int:
+        """Modeled resident set size of this process, in bytes.
+
+        An O(1) counter read: goroutine stacks/heap and channel payload
+        bytes are maintained incrementally at their mutation points.
+        ``audit=True`` recomputes the total with the original full scan
+        over every goroutine and channel (debug only — monitoring at
+        fleet scale must never pay population-proportional cost).
+        """
+        if not audit:
+            return self.base_rss + self._goroutine_bytes + self._chan_bytes
         total = self.base_rss
         for goro in self._goroutines.values():
             total += goro.footprint_bytes
         for channel in self._channels:
-            total += channel.buffered_bytes + channel.pending_send_bytes
+            total += channel._scan_buffered_bytes()
+            total += channel._scan_pending_send_bytes()
         return total
 
     # ------------------------------------------------------------------
@@ -588,8 +793,10 @@ class Runtime:
         def sweep_and_reschedule() -> None:
             self.gc(full=full, policy=policy)
             self._gc_timer = self.call_later(interval, sweep_and_reschedule)
+            self._exempt_timer(self._gc_timer)
 
         self._gc_timer = self.call_later(interval, sweep_and_reschedule)
+        self._exempt_timer(self._gc_timer)
 
     def disable_gc(self) -> None:
         """Cancel the periodic sweep (sweep state and proofs are kept)."""

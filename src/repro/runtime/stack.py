@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """One stack frame: a function name and its source location."""
 
