@@ -6,18 +6,26 @@ A small fleet serves traffic; one service carries the paper's timeout
 leak.  LeakProf sweeps profiles daily, applies the two criteria
 (threshold + trivially-non-blocking filter), ranks by RMS impact, routes
 to owners, and the fix deploy collapses the RSS — the Fig 1 story end to
-end.
+end.  A final act replays day 1 on a :class:`~repro.fleet.ShardedFleet`:
+the same services run in worker processes, LeakProf sweeps the shipped
+snapshots, and the monitoring story comes out byte-identical.
 """
 
-from repro.fleet import Fleet, RequestMix, Service, ServiceConfig, TrafficShape
+from repro.fleet import (
+    Fleet,
+    RequestMix,
+    Service,
+    ServiceConfig,
+    ShardedFleet,
+    TrafficShape,
+)
 from repro.leakprof import LeakProf, OwnershipRouter
 from repro.patterns import healthy, timeout_leak, timer_loop
 
 MIB = 1024 * 1024
 
 
-def main():
-    # -- build a 3-service fleet ------------------------------------------
+def _mixes():
     leaky = RequestMix().add(
         "checkout", timeout_leak.leaky, weight=1.0, payload_bytes=256 * 1024
     )
@@ -35,37 +43,46 @@ def main():
     timers = RequestMix().add(
         "report", timer_loop.leaky, weight=1.0, period=1800.0
     )
+    return leaky, fixed, clean, timers
+
+
+def _service_specs(leaky, clean, timers):
+    """The 3-service fleet, as configs: buildable live or sharded."""
+    return [
+        (ServiceConfig(name="payments", mix=leaky, instances=3,
+                       traffic=TrafficShape(requests_per_window=60),
+                       base_rss=256 * MIB), 1),
+        (ServiceConfig(name="search", mix=clean, instances=2,
+                       traffic=TrafficShape(requests_per_window=60)), 2),
+        (ServiceConfig(name="metrics", mix=timers, instances=2,
+                       traffic=TrafficShape(requests_per_window=5)), 3),
+    ]
+
+
+def _make_leakprof():
+    router = OwnershipRouter({"": "infra"}, default="infra")
+    return LeakProf(threshold=150, top_n=5, router=router)
+
+
+def main():
+    # -- build a 3-service fleet ------------------------------------------
+    leaky, fixed, clean, timers = _mixes()
 
     fleet = Fleet()
-    payments = Service(
-        ServiceConfig(name="payments", mix=leaky, instances=3,
-                      traffic=TrafficShape(requests_per_window=60),
-                      base_rss=256 * MIB),
-        seed=1,
-    )
-    fleet.add(payments)
-    fleet.add(
-        Service(
-            ServiceConfig(name="search", mix=clean, instances=2,
-                          traffic=TrafficShape(requests_per_window=60)),
-            seed=2,
-        )
-    )
-    fleet.add(
-        Service(
-            ServiceConfig(name="metrics", mix=timers, instances=2,
-                          traffic=TrafficShape(requests_per_window=5)),
-            seed=3,
-        )
-    )
+    for config, seed in _service_specs(leaky, clean, timers):
+        fleet.add(Service(config, seed=seed))
+    payments = fleet.services["payments"]
 
-    router = OwnershipRouter({"": "infra"}, default="infra")
-    leakprof = LeakProf(threshold=150, top_n=5, router=router)
+    leakprof = _make_leakprof()
 
     # -- day 1: leak accumulates; LeakProf's daily run fires ---------------
     print("== day 1: traffic flows, the leak accumulates ==")
     for _ in range(8):
         fleet.advance_window(3 * 3600.0)
+    day1_histories = {
+        name: list(service.history)
+        for name, service in fleet.services.items()
+    }
     for service in fleet:
         peak = max(i.rss() for i in service.instances) / MIB
         blocked = sum(i.leaked_goroutines() for i in service.instances)
@@ -97,6 +114,45 @@ def main():
     again = leakprof.daily_run(fleet.all_instances(), now=2.0)
     print(f"\n== next daily run: {len(again.new_reports)} new report(s) "
           "(fixed leak stays quiet; bug DB dedupes) ==")
+
+    sharded_variant(day1_histories)
+
+
+def sharded_variant(day1_histories):
+    """Replay day 1 with the instances in worker processes.
+
+    Same seeds, same configs — but the fleet advances windows across 2
+    shards in parallel and LeakProf sweeps the InstanceSnapshots the
+    workers ship back.  Determinism guarantee on display: the sharded
+    ServiceSample histories are byte-identical to the single-process
+    day-1 run, and the daily run files the same report.
+    """
+    print("\n== same day 1, sharded: instances now live in 2 worker "
+          "processes ==")
+    leaky, _fixed, clean, timers = _mixes()
+    with ShardedFleet(shards=2) as fleet:
+        for config, seed in _service_specs(leaky, clean, timers):
+            fleet.add_service(config, seed=seed)
+        fleet.start()
+        for _ in range(8):
+            fleet.advance_window(3 * 3600.0)
+
+        for service in fleet:
+            name = service.config.name
+            assert service.history == day1_histories[name], name
+        print("   ServiceSample histories: byte-identical to the "
+              "single-process run")
+
+        result = _make_leakprof().daily_run(fleet.snapshots(), now=1.0)
+        print(f"   LeakProf over shipped snapshots: "
+              f"{len(result.new_reports)} report(s)")
+        for report in result.new_reports:
+            print(f"   {report.summary}")
+        assert {r.candidate.service for r in result.new_reports} == {
+            "payments"
+        }
+        print("   (same verdicts as the live sweep — shard topology is "
+              "invisible in results)")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ from .deployment import (
     capacity_for,
 )
 from .service import InstanceMetrics, ServiceInstance, WINDOW_SECONDS
+from .shard import ShardedFleet, ShardedService
 from .workload import Handler, RequestMix, TrafficShape
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceSample",
     "ServiceInstance",
+    "ShardedFleet",
+    "ShardedService",
     "TrafficShape",
     "WINDOW_SECONDS",
     "capacity_for",

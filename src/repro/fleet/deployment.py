@@ -117,12 +117,18 @@ class Service:
         index first among those not already on ``mix``; returns the indices
         restarted.  When every instance ends up on ``mix`` the service
         config is updated, so a later full :meth:`deploy` keeps the fix.
+
+        Mixes are compared *structurally*: two independently-built but
+        equal :class:`RequestMix` objects count as the same code, so a
+        rollout driven from a config copy (or from across a shard
+        boundary, where only pickled copies exist) never restarts
+        instances that already run the fix.
         """
         if indices is None:
             eligible = [
                 index
                 for index, instance in enumerate(self.instances)
-                if instance.mix is not mix
+                if instance.mix != mix
             ]
             if count is None:
                 count = len(eligible)
@@ -132,16 +138,16 @@ class Service:
             self.instances[index] = self._make_instance(index, mix, start_time)
         if indices:
             self.deploys += 1
-        if all(instance.mix is mix for instance in self.instances):
+        if all(instance.mix == mix for instance in self.instances):
             self.config = self.config.with_mix(mix)
         return list(indices)
 
     def instances_on(self, mix: RequestMix) -> List[int]:
-        """Indices of instances currently serving ``mix``."""
+        """Indices of instances currently serving ``mix`` (structurally)."""
         return [
             index
             for index, instance in enumerate(self.instances)
-            if instance.mix is mix
+            if instance.mix == mix
         ]
 
     def advance_window(self, window: float = WINDOW_SECONDS) -> ServiceSample:
@@ -178,6 +184,12 @@ class Service:
     def profiles(self):
         return [instance.profile() for instance in self.instances]
 
+    def snapshot(self):
+        """Freeze the whole service (history + every instance)."""
+        from repro.snapshot import snapshot_service  # deferred import
+
+        return snapshot_service(self)
+
     def peak_rss(self) -> int:
         """Highest fleet-wide RSS observed so far."""
         return max((s.total_rss_bytes for s in self.history), default=0)
@@ -204,6 +216,15 @@ class Fleet:
         for service in self.services.values():
             instances.extend(service.instances)
         return instances
+
+    def snapshots(self):
+        """Freeze every instance, in service-add then index order.
+
+        The in-process analog of :meth:`repro.fleet.shard.ShardedFleet.
+        snapshots`: both produce the same ordering, so a LeakProf daily
+        run sees identical input either way.
+        """
+        return [instance.snapshot() for instance in self.all_instances()]
 
     def advance_window(self, window: float = WINDOW_SECONDS) -> None:
         for service in self.services.values():

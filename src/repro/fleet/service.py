@@ -132,6 +132,15 @@ class ServiceInstance:
 
     def profile(self) -> GoroutineProfile:
         """The pprof endpoint LeakProf sweeps."""
-        return GoroutineProfile.take(
-            self.runtime, service=self.service, instance=self.name
-        )
+        return self.snapshot().profile()
+
+    def snapshot(self):
+        """Freeze this instance into a picklable observation snapshot.
+
+        The same object a sharded fleet ships across its worker
+        boundary; every observer (LeakProf sweeps, goleak, remedy
+        verification) consumes this instead of live runtime internals.
+        """
+        from repro.snapshot import snapshot_instance  # deferred: imports fleet
+
+        return snapshot_instance(self)

@@ -10,10 +10,11 @@ real sleeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
-from repro.profiling import GoroutineProfile, GoroutineRecord
+from repro.profiling import GoroutineRecord
 from repro.runtime.scheduler import Runtime
+from repro.snapshot import RuntimeSnapshot, snapshot_runtime
 
 from .classify import BlockType, classify
 from .options import Options, build_options
@@ -42,61 +43,76 @@ def format_leaks(leaks: Sequence[GoroutineRecord]) -> str:
 
 
 def find(
-    runtime: Runtime, *options, strategy: str = "snapshot"
+    runtime: Union[Runtime, RuntimeSnapshot],
+    *options,
+    strategy: str = "snapshot",
 ) -> List[GoroutineRecord]:
     """Collect lingering goroutines, retrying to let stragglers finish.
 
-    With the default ``strategy="snapshot"`` the retry loop advances the
-    *virtual* clock between snapshots, so a goroutine that only needed
-    another few milliseconds (e.g. draining a buffered channel) is not
-    misreported — mirroring goleak's real-time backoff without
-    wall-clock cost.
+    Accepts a live :class:`Runtime` or a frozen
+    :class:`~repro.snapshot.RuntimeSnapshot` — the decision procedure
+    itself only ever reads snapshot records, so verification works
+    identically against a runtime in this process and a snapshot shipped
+    from a shard worker.
+
+    With the default ``strategy="snapshot"`` and a live runtime, the
+    retry loop advances the *virtual* clock between snapshots, so a
+    goroutine that only needed another few milliseconds (e.g. draining a
+    buffered channel) is not misreported — mirroring goleak's real-time
+    backoff without wall-clock cost.  A frozen snapshot has no clock to
+    advance: its records are judged as-is.
 
     ``strategy="reachability"`` replaces the exit-point snapshot with a
     :mod:`repro.gc` sweep and reports exactly the goroutines *proven*
     leaked — no retries, no grace period, and no test exit point needed:
     a proof is already exact, so slow-but-healthy goroutines can never
-    be misreported.
+    be misreported.  On a frozen snapshot the proof annotations stamped
+    by the source runtime's last sweep are used.
     """
     opts = build_options(*options)
-    if strategy == "reachability":
-        runtime.gc()
-        profile = GoroutineProfile.take(runtime)
-        return [
-            record
-            for record in profile.records
-            if record.proof == "proven"
-            and not record.name.startswith("_goleak")
-            and not opts.ignored(record)
-        ]
-    if strategy != "snapshot":
+    if strategy not in ("snapshot", "reachability"):
         raise ValueError(
             f"unknown strategy {strategy!r}; use 'snapshot' or 'reachability'"
         )
-    leaks = _lingering(runtime, opts)
+    proven_only = strategy == "reachability"
+    if isinstance(runtime, RuntimeSnapshot):
+        return _lingering_in(runtime, opts, proven_only=proven_only)
+    # Live-runtime adapters: snapshot first, judge the snapshot.
+    if proven_only:
+        runtime.gc()
+        return _lingering_in(
+            snapshot_runtime(runtime), opts, proven_only=True
+        )
+    leaks = _lingering_in(snapshot_runtime(runtime), opts)
     attempt = 0
     while leaks and attempt < opts.retries:
         runtime.advance(opts.retry_interval)
-        leaks = _lingering(runtime, opts)
+        leaks = _lingering_in(snapshot_runtime(runtime), opts)
         attempt += 1
     return leaks
 
 
-def _lingering(runtime: Runtime, opts: Options) -> List[GoroutineRecord]:
-    profile = GoroutineProfile.take(runtime)
+def _lingering_in(
+    snapshot: RuntimeSnapshot, opts: Options, proven_only: bool = False
+) -> List[GoroutineRecord]:
+    """The actual decision procedure: filter a snapshot's records."""
     return [
         record
-        for record in profile.records
-        if not record.name.startswith("_goleak")  # exclude ourselves
+        for record in snapshot.records
+        if (not proven_only or record.proof == "proven")
+        and not record.name.startswith("_goleak")  # exclude ourselves
         and not opts.ignored(record)
     ]
 
 
 def verify_none(
-    runtime: Runtime, *options, strategy: str = "snapshot"
+    runtime: Union[Runtime, RuntimeSnapshot],
+    *options,
+    strategy: str = "snapshot",
 ) -> None:
     """Assert no unexpected goroutines linger (``goleak.VerifyNone``).
 
+    Accepts a live runtime or a :class:`~repro.snapshot.RuntimeSnapshot`.
     ``strategy="reachability"`` asserts on *proven* leaks instead of
     exit-point residue — an exact alternative that also works mid-run,
     where a snapshot would misreport still-working goroutines.

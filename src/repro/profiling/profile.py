@@ -147,22 +147,44 @@ class GoroutineProfile:
     ) -> "GoroutineProfile":
         """Snapshot ``runtime`` (negligible overhead, like pprof capture).
 
-        An idle process is detected from the O(1) goroutine counter, so
-        profiling a fleet of mostly-healthy instances skips the record
-        walk entirely on the instances with nothing to report.
+        A thin adapter over the snapshot plane: the runtime is frozen
+        into a :class:`repro.snapshot.RuntimeSnapshot` and the profile is
+        built from that — the same path a profile shipped from a worker
+        process takes.  An idle process is detected from the O(1)
+        goroutine counter, so profiling a fleet of mostly-healthy
+        instances skips the record walk entirely on the instances with
+        nothing to report.
         """
-        if runtime.num_goroutines == 0:
-            records: List[GoroutineRecord] = []
-        else:
+        from repro.snapshot import snapshot_runtime  # deferred: imports us
+
+        return cls.from_snapshot(
+            snapshot_runtime(runtime),
+            service=service,
+            instance=instance,
+            exclude=exclude,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot,
+        service: Optional[str] = None,
+        instance: Optional[str] = None,
+        exclude: Iterable[int] = (),
+    ) -> "GoroutineProfile":
+        """Build a profile from a :class:`repro.snapshot.RuntimeSnapshot`.
+
+        This is the canonical constructor: snapshots are what cross the
+        shard boundary, and a profile built here from a shipped snapshot
+        is byte-identical to one taken against the live runtime.
+        """
+        records: List[GoroutineRecord] = list(snapshot.records)
+        if exclude:
             excluded = set(exclude)
-            records = [
-                snapshot_goroutine(g, runtime.now)
-                for g in runtime.live_goroutines()
-                if g.gid not in excluded
-            ]
+            records = [r for r in records if r.gid not in excluded]
         return cls(
-            taken_at=runtime.now,
-            process=runtime.name,
+            taken_at=snapshot.taken_at,
+            process=snapshot.process,
             records=records,
             service=service,
             instance=instance,

@@ -37,7 +37,13 @@ from .rollout import (
     StageReport,
 )
 from .tickets import RemediationTicket, TicketTracker
-from .verify import VerificationResult, exercise, verify_fix
+from .verify import (
+    VerificationResult,
+    exercise,
+    judge_snapshots,
+    settle_and_snapshot,
+    verify_fix,
+)
 
 __all__ = [
     "DEFAULT_STAGES",
@@ -64,5 +70,7 @@ __all__ = [
     "probe_pattern",
     "propose_fix",
     "remix",
+    "judge_snapshots",
+    "settle_and_snapshot",
     "verify_fix",
 ]

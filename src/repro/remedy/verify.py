@@ -21,9 +21,10 @@ import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.goleak import LeakError, find, verify_none
+from repro.goleak import find
 
 from repro.runtime import Runtime
+from repro.snapshot import RuntimeSnapshot, snapshot_runtime
 
 from .fixes import FixProposal, drained
 
@@ -90,47 +91,38 @@ def exercise(
     return rt
 
 
-def verify_fix(
-    proposal: FixProposal,
+def settle_and_snapshot(rt: Runtime) -> RuntimeSnapshot:
+    """Freeze an exercised runtime after goleak's straggler grace period.
+
+    The thin live-runtime adapter of the verification path: goroutines
+    that only needed a little more virtual time are given goleak's retry
+    backoff (an O(1) census pre-check skips even that when nothing is
+    parked), then the runtime is frozen into a snapshot.  Everything
+    downstream — :func:`judge_snapshots` — consumes only the snapshot,
+    so verification can also judge snapshots shipped from shard workers.
+    """
+    if rt.blocked_goroutines_count:
+        find(rt)  # advances the virtual clock until leaks stop resolving
+    return snapshot_runtime(rt)
+
+
+def judge_snapshots(
+    baseline: RuntimeSnapshot,
+    candidate: RuntimeSnapshot,
     calls: int = 25,
-    seed: int = 0,
-    params: Optional[Dict[str, object]] = None,
     rss_fraction: float = DEFAULT_RSS_FRACTION,
     rss_slack: int = DEFAULT_RSS_SLACK,
 ) -> VerificationResult:
-    """Judge one fix proposal against its own leaky baseline."""
-    baseline = exercise(
-        proposal.pattern.leaky,
-        calls=calls,
-        seed=seed,
-        params=params,
-        name=f"baseline:{proposal.pattern.name}",
-    )
-    # O(1) pre-check: after quiescence every lingering goroutine is
-    # parked, so an empty blocked census means goleak cannot find leaks
-    # and the stack-snapshotting walk is skipped outright.
-    if baseline.blocked_goroutines_count == 0:
-        leaks_baseline = 0
-    else:
-        leaks_baseline = len(find(baseline))
-    rss_baseline = max(0, baseline.rss() - baseline.base_rss)
+    """Judge a candidate fix from two settled runtime snapshots.
 
-    candidate = exercise(
-        proposal.fixed_body,
-        calls=calls,
-        seed=seed,
-        params=params,
-        name=f"candidate:{proposal.pattern.name}",
-    )
-    rss_candidate = max(0, candidate.rss() - candidate.base_rss)
-    if candidate.blocked_goroutines_count == 0:
-        leaks_candidate = 0  # same O(1) shortcut as the baseline side
-    else:
-        try:
-            verify_none(candidate)
-            leaks_candidate = 0
-        except LeakError as error:
-            leaks_candidate = len(error.leaks)
+    Pure snapshot consumption: both leak counts and both RSS growth
+    figures come from the frozen observation plane, never from live
+    runtime internals.
+    """
+    leaks_baseline = len(find(baseline))
+    rss_baseline = max(0, baseline.rss_bytes - baseline.base_rss)
+    leaks_candidate = len(find(candidate))
+    rss_candidate = max(0, candidate.rss_bytes - candidate.base_rss)
 
     if leaks_baseline == 0:
         passed, reason = False, "baseline did not reproduce the leak"
@@ -148,4 +140,40 @@ def verify_fix(
         leaks_candidate=leaks_candidate,
         rss_growth_baseline=rss_baseline,
         rss_growth_candidate=rss_candidate,
+    )
+
+
+def verify_fix(
+    proposal: FixProposal,
+    calls: int = 25,
+    seed: int = 0,
+    params: Optional[Dict[str, object]] = None,
+    rss_fraction: float = DEFAULT_RSS_FRACTION,
+    rss_slack: int = DEFAULT_RSS_SLACK,
+) -> VerificationResult:
+    """Judge one fix proposal against its own leaky baseline."""
+    baseline = settle_and_snapshot(
+        exercise(
+            proposal.pattern.leaky,
+            calls=calls,
+            seed=seed,
+            params=params,
+            name=f"baseline:{proposal.pattern.name}",
+        )
+    )
+    candidate = settle_and_snapshot(
+        exercise(
+            proposal.fixed_body,
+            calls=calls,
+            seed=seed,
+            params=params,
+            name=f"candidate:{proposal.pattern.name}",
+        )
+    )
+    return judge_snapshots(
+        baseline,
+        candidate,
+        calls=calls,
+        rss_fraction=rss_fraction,
+        rss_slack=rss_slack,
     )

@@ -307,9 +307,13 @@ class TestStagedRollout:
         for _ in range(4):
             service.advance_window(3600.0)
         old_mix = service.config.mix
+        # A genuinely different build (new handler name + payload) that
+        # still carries the leak.  It must differ *structurally* from the
+        # old mix: partial_deploy compares mixes by equality, so an
+        # identical mix would correctly be a no-op deploy, not a canary.
         still_leaky = RequestMix().add(
-            "checkout", timeout_leak.leaky, weight=1.0,
-            payload_bytes=256 * 1024,
+            "checkout_v2", timeout_leak.leaky, weight=1.0,
+            payload_bytes=257 * 1024,
         )
         rollout = StagedRollout(
             windows_per_stage=1, drain_windows=1, window=3600.0
