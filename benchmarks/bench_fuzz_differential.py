@@ -1,0 +1,93 @@
+"""Differential fuzzing throughput and per-detector precision/recall.
+
+A seeded 2k-program campaign (the PR-5 acceptance scale; override with
+``FUZZ_PROGRAMS``) drives generated op-tree programs through the full
+detection stack and scores every detector against construction-time
+ground truth.  Two numbers matter:
+
+* **programs/sec** — the fuzzer is a CI gate, so synthesis + execution +
+  four detectors + judging must stay cheap per program;
+* **per-detector FP/FN rates** — the paper's central claim (dynamic
+  observation is exact; proofs are sound) should hold at zero across an
+  unbounded scenario space, not just the 11 registry patterns.
+
+Any oracle disagreement fails this bench outright: a finding belongs in
+the regression corpus, not in a green build.
+"""
+
+import os
+
+from repro import fuzz
+
+from _emit import emit
+from conftest import print_table
+
+SEED_START = 0
+PROGRAMS = int(os.environ.get("FUZZ_PROGRAMS", "2000"))
+#: Floor low enough for shared CI runners; locally the campaign runs an
+#: order of magnitude faster (see the committed BENCH json).
+MIN_PROGRAMS_PER_SEC = float(os.environ.get("FUZZ_MIN_PROGRAMS_PER_SEC", "50"))
+
+
+def test_differential_fuzz_campaign_rates_and_throughput():
+    result = fuzz.run_campaign(
+        range(SEED_START, SEED_START + PROGRAMS), shrink_findings=True
+    )
+    rates = result.detector_rates()
+
+    rows = []
+    for detector, bucket in sorted(result.stats.items()):
+        rows.append(
+            (
+                detector,
+                bucket["checked"],
+                bucket["fp"],
+                bucket["fn"],
+                bucket.get("split", 0),
+                f"{rates[detector]['fp_rate']:.4f}",
+                f"{rates[detector]['fn_rate']:.4f}",
+            )
+        )
+    print_table(
+        f"Differential fuzz campaign ({result.programs} programs, "
+        f"{result.expected_leaks} oracle leaks, "
+        f"{result.programs_per_second:.0f} programs/sec)",
+        ["detector", "checked", "FP", "FN", "split", "FP rate", "FN rate"],
+        rows,
+    )
+
+    proven_recall = (
+        result.proven_true_leaks / result.expected_leaks
+        if result.expected_leaks
+        else 1.0
+    )
+    emit(
+        "fuzz_differential",
+        metric="programs_per_second",
+        value=round(result.programs_per_second, 1),
+        unit="programs/sec",
+        seed=SEED_START,
+        runtime_steps=result.scheduler_steps,
+        programs=result.programs,
+        expected_leaks=result.expected_leaks,
+        goroutines_spawned=result.goroutines_spawned,
+        findings=len(result.findings),
+        gc_proven_recall=round(proven_recall, 4),
+        detector_rates=rates,
+    )
+
+    # The campaign must exercise every detector...
+    assert result.expected_leaks > 0
+    for detector in fuzz.DETECTORS:
+        assert result.stats.get(detector, {}).get("checked", 0) > 0, detector
+    # ...agree with the oracle everywhere (a finding is a red build —
+    # minimize it into tests/fuzz_corpus and track it there)...
+    assert result.clean, result.summary()
+    # ...prove the overwhelming majority of true leaks (reachability
+    # recall; semacquire and orbit cases included)...
+    assert proven_recall >= 0.95
+    # ...and stay fast enough to gate PRs.
+    assert result.programs_per_second >= MIN_PROGRAMS_PER_SEC, (
+        f"{result.programs_per_second:.1f} programs/sec under the "
+        f"{MIN_PROGRAMS_PER_SEC} floor"
+    )

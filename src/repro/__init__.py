@@ -16,6 +16,10 @@ Subpackages:
   (detect → diagnose → fix → verify → rollout).
 * :mod:`repro.gc` — reachability-based leak proof engine with live
   goroutine reclamation (LIVE / POSSIBLY_LEAKED / PROVEN_LEAKED).
+* :mod:`repro.fuzz` — differential leak-detection fuzzer: op-tree
+  program synthesis with ground-truth oracles by construction, a
+  cross-detector judge, delta-debugging shrinker, and the replayable
+  regression corpus (``python -m repro.fuzz``).
 * :mod:`repro.analysis` — small statistics helpers (RMS, percentiles).
 
 See DESIGN.md for the per-experiment index and EXPERIMENTS.md for

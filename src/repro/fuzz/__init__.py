@@ -1,0 +1,103 @@
+"""repro.fuzz — differential leak-detection fuzzer with ground-truth oracles.
+
+The pattern registry fixed eleven leak shapes; this package makes the
+scenario space unbounded.  A seeded generator synthesizes random
+concurrent programs as composable op-trees over the runtime primitives,
+each carrying a ground-truth leak verdict **by construction** (every
+blocking op is paired with, or deliberately denied, its unblocker).  An
+executor runs each program through the full dynamic stack — Runtime +
+repro.gc proofs, goleak, LeakProf over snapshots, the range linter via
+ChanLang lowering — and a differential judge flags any deviation from
+the oracle as a finding, which a delta-debugging shrinker minimizes into
+a replayable corpus seed.
+
+Quick use::
+
+    from repro import fuzz
+
+    result = fuzz.run_campaign(range(200))
+    assert result.clean, result.summary()
+
+    program = fuzz.generate(seed=17)
+    obs, verdict = fuzz.examine(program)
+
+CLI: ``python -m repro.fuzz --count 200`` (see ``--help``).
+"""
+
+from .campaign import (
+    CampaignResult,
+    CorpusEntry,
+    DEFAULT_CORPUS_DIR,
+    Finding,
+    load_corpus,
+    replay_corpus,
+    replay_entry,
+    run_campaign,
+    save_finding,
+)
+from .executor import DEFAULT_DEADLINE, Observations, observe
+from .gen import DEFAULT_CONFIG, GenConfig, generate
+from .judge import (
+    DETECTORS,
+    Disagreement,
+    FALSE_NEGATIVE,
+    FALSE_POSITIVE,
+    JudgeResult,
+    SPLIT,
+    examine,
+    judge,
+)
+from .lower import CompiledProgram, compile_program, to_ir
+from .optree import (
+    CHANNEL_STATES,
+    FuzzProgram,
+    KINDS,
+    LeakGroup,
+    PATTERN_ANALOGS,
+    Scenario,
+    make_scenario,
+    program_from_dict,
+    program_to_dict,
+)
+from .shrink import ShrinkResult, shrink, still_disagrees
+
+__all__ = [
+    "CampaignResult",
+    "CHANNEL_STATES",
+    "CompiledProgram",
+    "CorpusEntry",
+    "DEFAULT_CONFIG",
+    "DEFAULT_CORPUS_DIR",
+    "DEFAULT_DEADLINE",
+    "DETECTORS",
+    "Disagreement",
+    "FALSE_NEGATIVE",
+    "FALSE_POSITIVE",
+    "Finding",
+    "FuzzProgram",
+    "GenConfig",
+    "JudgeResult",
+    "KINDS",
+    "LeakGroup",
+    "Observations",
+    "PATTERN_ANALOGS",
+    "Scenario",
+    "ShrinkResult",
+    "SPLIT",
+    "compile_program",
+    "examine",
+    "generate",
+    "judge",
+    "load_corpus",
+    "make_scenario",
+    "observe",
+    "program_from_dict",
+    "program_to_dict",
+    "replay_corpus",
+    "replay_entry",
+    "run_campaign",
+    "save_finding",
+    "shrink",
+    "still_disagrees",
+    "to_ir",
+]

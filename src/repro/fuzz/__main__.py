@@ -1,0 +1,125 @@
+"""CLI for fuzz campaigns: the entry point CI's fuzz gates invoke.
+
+Smoke gate (bounded, fixed seeds, fails the build on any disagreement)::
+
+    python -m repro.fuzz --start 0 --count 200 --fail-on-finding
+
+Nightly deep run (minimized reproducers land in ``--out`` for upload)::
+
+    python -m repro.fuzz --start 20000 --count 2000 --out fuzz-findings
+
+Replaying a seed file downloaded from a CI artifact::
+
+    python -m repro.fuzz --replay fuzz-findings/seed17_leakprof_false_negative.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from .campaign import run_campaign, save_finding
+from .gen import GenConfig
+from .judge import examine
+from .optree import program_from_dict
+
+
+def _replay(path: pathlib.Path) -> int:
+    payload = json.loads(path.read_text())
+    program = program_from_dict(payload["program"])
+    target = tuple(payload.get("target", ())) or None
+    _obs, verdict = examine(program)
+    print(f"replayed {payload.get('seed')} from {path}")
+    if verdict.agreed:
+        print("all detectors agree with the oracle (disagreement fixed)")
+        return 0
+    for disagreement in verdict.disagreements:
+        marker = (
+            " <= recorded target"
+            if target and disagreement.target == tuple(target)
+            else ""
+        )
+        print(
+            f"  {disagreement.detector}/{disagreement.kind} "
+            f"{disagreement.subject}: {disagreement.detail}{marker}"
+        )
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential leak-detection fuzz campaigns",
+    )
+    parser.add_argument("--start", type=int, default=0, help="first seed")
+    parser.add_argument(
+        "--count", type=int, default=200, help="number of seeded programs"
+    )
+    parser.add_argument(
+        "--max-scenarios", type=int, default=5,
+        help="max scenarios per generated program",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging of findings (faster triage runs)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="directory to write minimized finding seeds into",
+    )
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None,
+        help="write a machine-readable campaign summary here",
+    )
+    parser.add_argument(
+        "--fail-on-finding", action="store_true",
+        help="exit 1 if any detector disagreed with the oracle",
+    )
+    parser.add_argument(
+        "--replay", type=pathlib.Path, default=None,
+        help="replay one corpus/artifact seed file instead of fuzzing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        return _replay(args.replay)
+
+    config = GenConfig(max_scenarios=args.max_scenarios)
+    result = run_campaign(
+        range(args.start, args.start + args.count),
+        config=config,
+        shrink_findings=not args.no_shrink,
+    )
+    print(result.summary())
+
+    if args.out is not None:
+        for finding in result.findings:
+            path = save_finding(finding, args.out)
+            print(f"  wrote {path}")
+
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(
+                {
+                    "programs": result.programs,
+                    "programs_per_second": result.programs_per_second,
+                    "expected_leaks": result.expected_leaks,
+                    "proven_true_leaks": result.proven_true_leaks,
+                    "findings": len(result.findings),
+                    "stats": result.stats,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    if args.fail_on_finding and result.findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

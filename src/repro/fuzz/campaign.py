@@ -1,0 +1,282 @@
+"""Campaign driver and the replayable-seed corpus format.
+
+A campaign is a seed range pushed through generate → observe → judge;
+every disagreement becomes a :class:`Finding`, is delta-debugged down to
+the smallest still-disagreeing op-tree, and can be serialized as a JSON
+seed for the regression corpus (``tests/fuzz_corpus/``) or a CI
+artifact.  Replaying a seed re-runs the exact minimized program through
+the full stack — the corpus is executable documentation of every
+disagreement the fuzzer has ever surfaced.
+
+Corpus entry schema (one JSON object per file)::
+
+    {
+      "seed": 17,
+      "target": ["leakprof", "false_negative"],
+      "program": {...op-tree, see repro.fuzz.optree...},
+      "status": "fixed" | "known",
+      "note": "why it disagreed / where it was fixed / tracking ref"
+    }
+
+``status=fixed`` entries must replay **clean** (the regression guard);
+``status=known`` entries must still reproduce their recorded target
+(the tracking guard) — a known entry that stops disagreeing is stale
+and the replay test fails to force its promotion to ``fixed``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .gen import GenConfig, generate
+from .judge import JudgeResult, examine
+from .optree import FuzzProgram, program_from_dict, program_to_dict
+from .shrink import ShrinkResult, Target, shrink
+
+
+@dataclass
+class Finding:
+    """One disagreement, minimized to its smallest reproducer."""
+
+    seed: int
+    target: Target
+    program: FuzzProgram  # minimized
+    original_size: int
+    minimized_size: int
+    detail: str
+    shrink_attempts: int = 0
+
+    def to_dict(self, status: str = "known", note: str = "") -> dict:
+        return {
+            "seed": self.seed,
+            "target": list(self.target),
+            "program": program_to_dict(self.program),
+            "status": status,
+            "note": note or self.detail,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one seed range."""
+
+    programs: int = 0
+    expected_leaks: int = 0
+    proven_true_leaks: int = 0
+    scheduler_steps: int = 0
+    goroutines_spawned: int = 0
+    elapsed_seconds: float = 0.0
+    findings: List[Finding] = field(default_factory=list)
+    #: detector -> {"checked": .., "fp": .., "fn": .., "split": ..}
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def programs_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.programs / self.elapsed_seconds
+
+    def detector_rates(self) -> Dict[str, Dict[str, float]]:
+        """Per-detector FP/FN rates over all checked truth groups."""
+        rates: Dict[str, Dict[str, float]] = {}
+        for detector, bucket in sorted(self.stats.items()):
+            checked = bucket.get("checked", 0) or 1
+            rates[detector] = {
+                "fp_rate": bucket.get("fp", 0) / checked,
+                "fn_rate": bucket.get("fn", 0) / checked,
+                "checked": float(bucket.get("checked", 0)),
+            }
+        return rates
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz campaign: {self.programs} programs, "
+            f"{self.expected_leaks} oracle leaks, "
+            f"{len(self.findings)} finding(s), "
+            f"{self.programs_per_second:.1f} programs/sec",
+        ]
+        for detector, bucket in sorted(self.stats.items()):
+            lines.append(
+                f"  {detector:9s} checked={bucket.get('checked', 0)} "
+                f"fp={bucket.get('fp', 0)} fn={bucket.get('fn', 0)} "
+                f"split={bucket.get('split', 0)}"
+            )
+        for finding in self.findings:
+            lines.append(
+                f"  FINDING seed={finding.seed} {finding.target[0]}/"
+                f"{finding.target[1]} ({finding.original_size}->"
+                f"{finding.minimized_size} scenarios): {finding.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _merge_stats(
+    total: Dict[str, Dict[str, int]], one: Dict[str, Dict[str, int]]
+) -> None:
+    for detector, bucket in one.items():
+        slot = total.setdefault(
+            detector, {"checked": 0, "fp": 0, "fn": 0, "split": 0}
+        )
+        for key, value in bucket.items():
+            slot[key] = slot.get(key, 0) + value
+
+
+def run_campaign(
+    seeds: Iterable[int],
+    config: Optional[GenConfig] = None,
+    shrink_findings: bool = True,
+    deadline: Optional[float] = None,
+) -> CampaignResult:
+    """Generate, execute, and judge one program per seed."""
+    result = CampaignResult()
+    started = time.perf_counter()
+    for seed in seeds:
+        program = generate(seed, config)
+        obs, verdict = examine(program, deadline=deadline)
+        result.programs += 1
+        result.expected_leaks += verdict.expected_leaks
+        result.proven_true_leaks += verdict.proven_true_leaks
+        result.scheduler_steps += obs.steps
+        result.goroutines_spawned += obs.goroutines_spawned
+        _merge_stats(result.stats, verdict.stats)
+        if verdict.agreed:
+            continue
+        # One finding per distinct (detector, kind) signature: each is
+        # minimized independently so the corpus entry is the smallest
+        # tree reproducing *that* disagreement.
+        for target in sorted({d.target for d in verdict.disagreements}):
+            detail = verdict.matching(target)[0].detail
+            minimized = program
+            attempts = 0
+            if shrink_findings:
+                shrunk: ShrinkResult = shrink(
+                    program,
+                    target,
+                    check=lambda candidate: examine(
+                        candidate, deadline=deadline
+                    )[1],
+                )
+                minimized = shrunk.program
+                attempts = shrunk.attempts
+                detail = (
+                    shrunk.final.matching(target)[0].detail
+                    if shrunk.final.matching(target)
+                    else detail
+                )
+            result.findings.append(
+                Finding(
+                    seed=seed,
+                    target=target,
+                    program=minimized,
+                    original_size=program.size,
+                    minimized_size=minimized.size,
+                    detail=detail,
+                    shrink_attempts=attempts,
+                )
+            )
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Corpus I/O
+# ---------------------------------------------------------------------------
+
+#: The committed regression corpus replayed by tier-1 tests.
+DEFAULT_CORPUS_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+)
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One deserialized corpus seed."""
+
+    path: str
+    seed: int
+    target: Target
+    program: FuzzProgram
+    status: str  # "fixed" | "known"
+    note: str
+
+
+def save_finding(
+    finding: Finding,
+    directory: pathlib.Path,
+    status: str = "known",
+    note: str = "",
+) -> pathlib.Path:
+    """Serialize one minimized finding as a replayable corpus seed."""
+    directory.mkdir(parents=True, exist_ok=True)
+    name = (
+        f"seed{finding.seed}_{finding.target[0]}_"
+        f"{finding.target[1]}.json"
+    )
+    path = directory / name
+    path.write_text(
+        json.dumps(finding.to_dict(status=status, note=note), indent=2)
+        + "\n"
+    )
+    return path
+
+
+def load_corpus(
+    directory: Optional[pathlib.Path] = None,
+) -> List[CorpusEntry]:
+    directory = directory or DEFAULT_CORPUS_DIR
+    if not directory.is_dir():
+        # Refuse to report an empty corpus for a path that does not
+        # exist — DEFAULT_CORPUS_DIR assumes the src checkout layout, and
+        # an installed copy resolving elsewhere must fail loudly rather
+        # than let a "corpus replays clean" check pass vacuously.
+        raise FileNotFoundError(
+            f"fuzz corpus directory {directory} does not exist; pass the "
+            "checkout's tests/fuzz_corpus explicitly"
+        )
+    entries: List[CorpusEntry] = []
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text())
+        entries.append(
+            CorpusEntry(
+                path=str(path),
+                seed=int(payload["seed"]),
+                target=(payload["target"][0], payload["target"][1]),
+                program=program_from_dict(payload["program"]),
+                status=payload.get("status", "known"),
+                note=payload.get("note", ""),
+            )
+        )
+    return entries
+
+
+def replay_entry(entry: CorpusEntry) -> JudgeResult:
+    """Re-run one corpus seed through the full stack."""
+    return examine(entry.program)[1]
+
+
+def replay_corpus(
+    directory: Optional[pathlib.Path] = None,
+) -> List[Tuple[CorpusEntry, JudgeResult, bool]]:
+    """Replay every committed seed; the bool is the per-entry pass flag.
+
+    ``fixed`` entries pass when they replay with zero disagreements;
+    ``known`` entries pass while they still reproduce their recorded
+    target (otherwise they are stale and must be promoted to ``fixed``).
+    """
+    results: List[Tuple[CorpusEntry, JudgeResult, bool]] = []
+    for entry in load_corpus(directory):
+        verdict = replay_entry(entry)
+        if entry.status == "fixed":
+            ok = verdict.agreed
+        else:
+            ok = bool(verdict.matching(entry.target))
+        results.append((entry, verdict, ok))
+    return results

@@ -1,0 +1,173 @@
+"""Seeded scenario-tree generation.
+
+``generate(seed)`` is a pure function of ``(seed, GenConfig)``: the same
+inputs always produce the identical :class:`~repro.fuzz.optree.FuzzProgram`
+(tree *and* oracle), which is what makes corpus seeds replayable and CI
+campaigns reproducible across machines.
+
+The kind mix is weighted by the paper's §VI category shares (select-heavy,
+then receive, then send — the same shape
+:data:`repro.patterns.registry.PAPER_CATEGORY_SHARES` records), topped up
+with the shared-memory and healthy-noise kinds the dynamic stack must not
+false-positive on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.patterns.registry import PAPER_CATEGORY_SHARES
+
+from .optree import FuzzProgram, Scenario, make_scenario
+
+#: Kind -> paper blocking category (for the §VI-weighted mix).
+_KIND_CATEGORY = {
+    "send_block": "send",
+    "buffered_overfill": "send",
+    "recv_block": "recv",
+    "range_unclosed": "recv",
+    "timer_loop": "recv",
+    "ticker_abandon": "recv",
+    "select_block": "select",
+    "ctx_select": "select",
+}
+
+#: Kinds outside the paper's channel taxonomy, with flat weights.
+_EXTRA_KINDS = (("wg_wait", 0.06), ("mutex_hold", 0.06), ("noise", 0.12))
+
+
+def _kind_weights() -> Tuple[Tuple[str, float], ...]:
+    """§VI category shares spread evenly over the kinds in each category."""
+    by_category: dict = {}
+    for kind, category in _KIND_CATEGORY.items():
+        by_category.setdefault(category, []).append(kind)
+    weights: List[Tuple[str, float]] = []
+    for category, kinds in sorted(by_category.items()):
+        share = PAPER_CATEGORY_SHARES.get(category, 0.1) + 0.10
+        for kind in sorted(kinds):
+            weights.append((kind, share / len(kinds)))
+    weights.extend(_EXTRA_KINDS)
+    return tuple(weights)
+
+
+_WEIGHTS = _kind_weights()
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of the generator (all defaults are CI-sized)."""
+
+    min_scenarios: int = 1
+    max_scenarios: int = 5
+    leak_probability: float = 0.45
+    nest_probability: float = 0.20
+    max_nest_children: int = 3
+    max_depth: int = 2
+
+
+DEFAULT_CONFIG = GenConfig()
+
+
+def _pick_kind(rng: random.Random, allow_nested: bool, config: GenConfig) -> str:
+    if allow_nested and rng.random() < config.nest_probability:
+        return "nested"
+    total = sum(weight for _kind, weight in _WEIGHTS)
+    roll = rng.uniform(0.0, total)
+    for kind, weight in _WEIGHTS:
+        roll -= weight
+        if roll <= 0.0:
+            return kind
+    return _WEIGHTS[-1][0]
+
+
+class _SidAllocator:
+    def __init__(self) -> None:
+        self._next = 0
+
+    def take(self) -> str:
+        sid = f"s{self._next}"
+        self._next += 1
+        return sid
+
+
+def _gen_scenario(
+    rng: random.Random,
+    sids: _SidAllocator,
+    config: GenConfig,
+    depth: int,
+) -> Scenario:
+    kind = _pick_kind(rng, allow_nested=depth < config.max_depth, config=config)
+    sid = sids.take()
+    leaky = rng.random() < config.leak_probability
+
+    if kind == "nested":
+        count = rng.randint(1, config.max_nest_children)
+        children = tuple(
+            _gen_scenario(rng, sids, config, depth + 1) for _ in range(count)
+        )
+        return make_scenario("nested", sid, leaky=False, children=children)
+    if kind == "send_block":
+        n = rng.randint(1, 3)
+        # Leaky: receive too few (possibly zero); healthy: receive all.
+        k = rng.randint(0, n - 1) if leaky else n
+        return make_scenario(kind, sid, leaky, senders=n, receives=k)
+    if kind == "recv_block":
+        n = rng.randint(1, 3)
+        if leaky:
+            return make_scenario(
+                kind, sid, True, receivers=n, sends=rng.randint(0, n - 1),
+                close=0,
+            )
+        # Healthy unblocking comes in two flavours: send to everyone, or
+        # close the channel (waking all receivers with the zero value).
+        if rng.random() < 0.5:
+            return make_scenario(kind, sid, False, receivers=n, sends=n, close=0)
+        return make_scenario(
+            kind, sid, False, receivers=n, sends=rng.randint(0, n - 1), close=1
+        )
+    if kind == "buffered_overfill":
+        return make_scenario(
+            kind, sid, leaky,
+            capacity=rng.randint(1, 3),
+            extra=rng.randint(1, 2),
+            drain=0 if leaky else 1,
+        )
+    if kind == "select_block":
+        has_default = 0 if leaky else int(rng.random() < 0.4)
+        return make_scenario(
+            kind, sid, leaky, arms=rng.randint(1, 3), has_default=has_default
+        )
+    if kind == "ctx_select":
+        return make_scenario(kind, sid, leaky)
+    if kind == "range_unclosed":
+        return make_scenario(kind, sid, leaky, items=rng.randint(0, 3))
+    if kind == "wg_wait":
+        return make_scenario(kind, sid, leaky, waiters=rng.randint(1, 2))
+    if kind == "mutex_hold":
+        return make_scenario(kind, sid, leaky)
+    if kind == "timer_loop":
+        # interval in tenths of a virtual second (ints keep params JSON-flat)
+        return make_scenario(kind, sid, leaky, interval_tenths=rng.randint(5, 20))
+    if kind == "ticker_abandon":
+        return make_scenario(kind, sid, leaky, interval_tenths=rng.randint(5, 20))
+    if kind == "noise":
+        return make_scenario(
+            kind, sid, leaky=False,
+            alloc_kib=rng.randint(1, 64),
+            sleep_tenths=rng.randint(0, 5),
+        )
+    raise AssertionError(f"unhandled kind {kind!r}")
+
+
+def generate(seed: int, config: Optional[GenConfig] = None) -> FuzzProgram:
+    """Deterministically synthesize one program from ``seed``."""
+    config = config or DEFAULT_CONFIG
+    rng = random.Random(seed ^ 0xF0_22EE)
+    sids = _SidAllocator()
+    count = rng.randint(config.min_scenarios, config.max_scenarios)
+    scenarios = tuple(
+        _gen_scenario(rng, sids, config, depth=0) for _ in range(count)
+    )
+    return FuzzProgram(name=f"fz{seed}", seed=seed, scenarios=scenarios)

@@ -1,0 +1,256 @@
+"""The differential judge: detector reports vs construction-time truth.
+
+Each detector is held to *its own* contract — the judge never demands more
+than a tool promises, so every surviving disagreement is a finding, not
+an artifact of mismatched expectations:
+
+* **goleak** (exit-point residue) must report exactly the goroutines the
+  oracle says leak: any extra record is a false positive, any missing one
+  a false negative.  The paper's Fact 1 makes this exact because the
+  executor quiesces the program first.
+* **repro.gc** proofs claim certainty, so they are judged for soundness
+  only: a PROVEN verdict on a goroutine the oracle says healthy is a
+  false positive; incompleteness (``possibly``) is allowed and merely
+  tracked.  A proof on a goroutine goleak does *not* report is a
+  detector-vs-detector **split** (proofs must be a subset of residue).
+* **LeakProf** at threshold 1 must flag exactly the channel-visible leak
+  locations with exactly the leaked counts — sync-primitive leaks are
+  out of its scope by design and never counted against it.
+* the **range linter** is precise-by-construction on its one pattern:
+  exact agreement with the leaky ``range_unclosed`` scenarios, both
+  directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .executor import (
+    DEFAULT_DEADLINE,
+    DEFAULT_MAX_STEPS,
+    Observations,
+    observe,
+)
+from .optree import CHANNEL_STATES, LeakGroup
+
+DETECTORS = ("goleak", "gc", "leakprof", "linter")
+
+FALSE_POSITIVE = "false_positive"
+FALSE_NEGATIVE = "false_negative"
+SPLIT = "split"
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One oracle/detector (or detector/detector) mismatch."""
+
+    detector: str  # "goleak" | "gc" | "leakprof" | "linter"
+    kind: str  # "false_positive" | "false_negative" | "split"
+    subject: str  # goroutine name, file:line, or IR loc label
+    detail: str
+
+    @property
+    def target(self) -> Tuple[str, str]:
+        """The (detector, kind) signature the shrinker preserves."""
+        return (self.detector, self.kind)
+
+
+@dataclass
+class JudgeResult:
+    """All disagreements for one program, plus per-detector tallies."""
+
+    disagreements: Tuple[Disagreement, ...] = ()
+    #: detector -> {"checked": .., "fp": .., "fn": .., "split": ..}
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: how many truly-leaked goroutines the gc engine proved (recall
+    #: numerator; denominator is expected_leaks) — informational only
+    proven_true_leaks: int = 0
+    expected_leaks: int = 0
+
+    @property
+    def agreed(self) -> bool:
+        return not self.disagreements
+
+    def matching(self, target: Tuple[str, str]) -> Tuple[Disagreement, ...]:
+        return tuple(d for d in self.disagreements if d.target == target)
+
+
+def _tally(stats: Dict[str, Dict[str, int]], detector: str, key: str) -> None:
+    bucket = stats.setdefault(
+        detector, {"checked": 0, "fp": 0, "fn": 0, "split": 0}
+    )
+    bucket[key] += 1
+
+
+def judge(obs: Observations) -> JudgeResult:
+    """Compare one program's detector reports against its oracle."""
+    truth: Tuple[LeakGroup, ...] = obs.program.truth()
+    compiled = obs.compiled
+    disagreements: List[Disagreement] = []
+    stats: Dict[str, Dict[str, int]] = {}
+
+    name_to_group: Dict[str, LeakGroup] = {}
+    for group in truth:
+        for name in group.names:
+            name_to_group[name] = group
+
+    # -- goleak: exit-point residue must equal ground truth exactly --------
+    for group in truth:
+        _tally(stats, "goleak", "checked")
+        reported = sum(obs.goleak_counts.get(name, 0) for name in group.names)
+        if reported > group.count:
+            _tally(stats, "goleak", "fp")
+            disagreements.append(
+                Disagreement(
+                    "goleak", FALSE_POSITIVE, group.sid,
+                    f"{group.names[0]}: reported {reported} lingering, "
+                    f"oracle says {group.count}",
+                )
+            )
+        elif reported < group.count:
+            _tally(stats, "goleak", "fn")
+            disagreements.append(
+                Disagreement(
+                    "goleak", FALSE_NEGATIVE, group.sid,
+                    f"{group.names[0]}: reported {reported} lingering, "
+                    f"oracle says {group.count}",
+                )
+            )
+    for name in obs.goleak_counts:
+        if name not in name_to_group:
+            # Unattributed reports are still checks: keep the rate
+            # denominators honest (fp <= checked always).
+            _tally(stats, "goleak", "checked")
+            _tally(stats, "goleak", "fp")
+            disagreements.append(
+                Disagreement(
+                    "goleak", FALSE_POSITIVE, name,
+                    "reported a goroutine no scenario owns",
+                )
+            )
+
+    # -- repro.gc proofs: sound (never prove a healthy goroutine), and a
+    # -- subset of goleak's residue (a proof that is not even lingering
+    # -- would be a detector-vs-detector split) ----------------------------
+    proven_true = 0
+    for group in truth:
+        _tally(stats, "gc", "checked")
+        proven = sum(obs.proven_counts.get(name, 0) for name in group.names)
+        proven_true += min(proven, group.count)
+        if proven > group.count:
+            _tally(stats, "gc", "fp")
+            disagreements.append(
+                Disagreement(
+                    "gc", FALSE_POSITIVE, group.sid,
+                    f"{group.names[0]}: {proven} PROVEN_LEAKED verdicts, "
+                    f"oracle allows at most {group.count}",
+                )
+            )
+    for name, count in obs.proven_counts.items():
+        if name not in name_to_group:
+            _tally(stats, "gc", "checked")
+            _tally(stats, "gc", "fp")
+            disagreements.append(
+                Disagreement(
+                    "gc", FALSE_POSITIVE, name,
+                    "proved a goroutine no scenario owns",
+                )
+            )
+        elif count > obs.goleak_counts.get(name, 0):
+            _tally(stats, "gc", "split")
+            disagreements.append(
+                Disagreement(
+                    "gc", SPLIT, name,
+                    "PROVEN_LEAKED but absent from goleak's residue "
+                    "(proofs must be a subset of lingering goroutines)",
+                )
+            )
+
+    # -- LeakProf: channel-visible locations, exact counts ------------------
+    loc_truth: Dict[Tuple[str, str], Tuple[LeakGroup, int]] = {}
+    for group in truth:
+        if not group.channel_visible or group.state not in CHANNEL_STATES:
+            continue
+        key = (group.state, compiled.loc(group.loc_label))
+        loc_truth[key] = (group, group.count)
+    for key, (group, count) in loc_truth.items():
+        _tally(stats, "leakprof", "checked")
+        got = obs.suspects.get(key, 0)
+        if got > count:
+            _tally(stats, "leakprof", "fp")
+            disagreements.append(
+                Disagreement(
+                    "leakprof", FALSE_POSITIVE, group.loc_label,
+                    f"{key[1]} [{key[0]}]: suspect count {got}, "
+                    f"oracle says {count}",
+                )
+            )
+        elif got < count:
+            _tally(stats, "leakprof", "fn")
+            disagreements.append(
+                Disagreement(
+                    "leakprof", FALSE_NEGATIVE, group.loc_label,
+                    f"{key[1]} [{key[0]}]: suspect count {got}, "
+                    f"oracle says {count}",
+                )
+            )
+    for key in obs.suspects:
+        if key not in loc_truth:
+            _tally(stats, "leakprof", "checked")
+            _tally(stats, "leakprof", "fp")
+            disagreements.append(
+                Disagreement(
+                    "leakprof", FALSE_POSITIVE, key[1],
+                    f"suspect at {key[1]} [{key[0]}] matches no generated op",
+                )
+            )
+
+    # -- range linter: exact agreement within its pattern -------------------
+    expected_lint = {
+        group.loc_label for group in truth if group.lintable and group.count
+    }
+    for loc in sorted(expected_lint):
+        _tally(stats, "linter", "checked")
+        if loc not in obs.lint_locs:
+            _tally(stats, "linter", "fn")
+            disagreements.append(
+                Disagreement(
+                    "linter", FALSE_NEGATIVE, loc,
+                    "leaky range-over-unclosed-channel not flagged",
+                )
+            )
+    for loc in sorted(obs.lint_locs - expected_lint):
+        _tally(stats, "linter", "checked")
+        _tally(stats, "linter", "fp")
+        disagreements.append(
+            Disagreement(
+                "linter", FALSE_POSITIVE, loc,
+                "linter flagged a range the oracle says is healthy",
+            )
+        )
+
+    return JudgeResult(
+        disagreements=tuple(disagreements),
+        stats=stats,
+        proven_true_leaks=proven_true,
+        expected_leaks=obs.program.expected_leaks(),
+    )
+
+
+def examine(
+    program,
+    deadline: Optional[float] = None,
+    max_steps: Optional[int] = None,
+) -> Tuple[Observations, JudgeResult]:
+    """Convenience: observe + judge in one call.
+
+    ``None`` falls through to the executor's defaults (callers like the
+    campaign driver thread an optional override without re-stating them).
+    """
+    obs = observe(
+        program,
+        deadline=DEFAULT_DEADLINE if deadline is None else deadline,
+        max_steps=DEFAULT_MAX_STEPS if max_steps is None else max_steps,
+    )
+    return obs, judge(obs)

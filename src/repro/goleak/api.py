@@ -67,7 +67,12 @@ def find(
     leaked — no retries, no grace period, and no test exit point needed:
     a proof is already exact, so slow-but-healthy goroutines can never
     be misreported.  On a frozen snapshot the proof annotations stamped
-    by the source runtime's last sweep are used.
+    by the source runtime's last sweep are used — which makes a sweep a
+    *precondition*: a snapshot that still holds goroutines but whose
+    source never swept carries no annotations at all, and judging it
+    would pass vacuously on a leaky process, so it raises ``ValueError``
+    instead (sweep before snapshotting, or set ``gc_interval`` on fleet
+    instances).
     """
     opts = build_options(*options)
     if strategy not in ("snapshot", "reachability"):
@@ -76,6 +81,17 @@ def find(
         )
     proven_only = strategy == "reachability"
     if isinstance(runtime, RuntimeSnapshot):
+        if proven_only and runtime.gc is None and runtime.num_goroutines:
+            # A snapshot with residue but no sweep carries no proof
+            # annotations: judging it would pass vacuously on a leaky
+            # process.  (A live runtime gets its sweep below; an idle
+            # snapshot has nothing to prove either way.)
+            raise ValueError(
+                "reachability strategy needs proof annotations, but this "
+                "snapshot's source runtime never ran a gc sweep; call "
+                "runtime.gc() before snapshotting (or configure "
+                "gc_interval on fleet instances)"
+            )
         return _lingering_in(runtime, opts, proven_only=proven_only)
     # Live-runtime adapters: snapshot first, judge the snapshot.
     if proven_only:
@@ -115,7 +131,10 @@ def verify_none(
     Accepts a live runtime or a :class:`~repro.snapshot.RuntimeSnapshot`.
     ``strategy="reachability"`` asserts on *proven* leaks instead of
     exit-point residue — an exact alternative that also works mid-run,
-    where a snapshot would misreport still-working goroutines.
+    where a snapshot would misreport still-working goroutines.  A live
+    runtime is swept on demand; a frozen snapshot must carry sweep
+    annotations already (see :func:`find`), else this raises
+    ``ValueError`` rather than passing vacuously.
     """
     leaks = find(runtime, *options, strategy=strategy)
     if leaks:
