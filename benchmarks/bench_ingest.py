@@ -1,0 +1,116 @@
+"""Ingestion-path throughput: debug=2 parsing and HTTP uploads.
+
+The paper's pipeline collects ~200K profile files per daily run; the
+ingestion surface must therefore parse the Go ``debug=2`` dialect at
+bulk rates and absorb concurrent uploads without becoming the
+bottleneck ahead of LeakProf analysis.  Two headline numbers:
+
+* **goroutines/sec** through :func:`repro.profiling.parse_go_debug2`
+  on a realistic many-stanza dump (runtime sub-stacks, created-by
+  trailers, minute ages — everything the real format carries);
+* **uploads/sec** through a live :class:`repro.ingest.IngestServer`
+  over loopback HTTP, sqlite archival included.
+
+Floors are set low enough for shared CI runners; the emitted
+``BENCH_ingest.json`` (uploaded as a CI artifact) records the measured
+rates per run.
+"""
+
+import os
+import time
+
+from repro.ingest import IngestClient, IngestServer, IngestStore
+from repro.profiling import parse_go_debug2
+
+from _emit import emit
+from conftest import print_table
+
+#: One leaking stanza, instantiated per goroutine id.
+_STANZA = """\
+goroutine {gid} [chan send, {minutes} minutes]:
+runtime.gopark(0xc000076058?, 0xc00003e770?, 0x40?, 0xbc?, 0xc00003e7a8?)
+\t/usr/local/go/src/runtime/proc.go:364 +0xd6
+runtime.chansend(0xc000076000, 0xc00003e7e8, 0x1, 0x1)
+\t/usr/local/go/src/runtime/chan.go:259 +0x42c
+svc.worker.func{variant}()
+\t/srv/svc/worker.go:{line} +0x3c
+created by svc.worker in goroutine 1
+\t/srv/svc/worker.go:12 +0x9a
+"""
+
+PARSE_GOROUTINES = int(os.environ.get("INGEST_PARSE_GOROUTINES", "4000"))
+UPLOADS = int(os.environ.get("INGEST_UPLOADS", "150"))
+MIN_PARSE_RATE = float(os.environ.get("INGEST_MIN_PARSE_RATE", "2000"))
+MIN_UPLOAD_RATE = float(os.environ.get("INGEST_MIN_UPLOAD_RATE", "20"))
+
+
+def build_dump(goroutines: int) -> str:
+    chunks = ["goroutine 1 [running]:\nmain.main()\n\t/srv/svc/main.go:10 +0x1\n"]
+    for gid in range(2, goroutines + 1):
+        chunks.append(
+            _STANZA.format(
+                gid=gid,
+                minutes=gid % 240,
+                variant=gid % 7,
+                line=20 + gid % 40,
+            )
+        )
+    return "\n".join(chunks)
+
+
+def measure_parse_rate() -> float:
+    text = build_dump(PARSE_GOROUTINES)
+    parse_go_debug2(text)  # warm caches/regexes outside the timed run
+    start = time.perf_counter()
+    profile = parse_go_debug2(text)
+    elapsed = time.perf_counter() - start
+    assert len(profile) == PARSE_GOROUTINES
+    return PARSE_GOROUTINES / elapsed
+
+
+def measure_upload_rate() -> float:
+    body = build_dump(60)
+    store = IngestStore(":memory:")
+    store.register_tenant("bench", "tok", threshold=10_000)
+    with IngestServer(store, rate=1e9, burst=1e9) as server:
+        client = IngestClient(server.url, "bench", "tok")
+        client.upload(body)  # warm the connection path
+        start = time.perf_counter()
+        for _ in range(UPLOADS):
+            client.upload(body)
+        elapsed = time.perf_counter() - start
+    store.close()
+    return UPLOADS / elapsed
+
+
+def test_ingest_throughput():
+    parse_rate = measure_parse_rate()
+    upload_rate = measure_upload_rate()
+
+    print_table(
+        "Ingestion throughput",
+        ["path", "work", "rate"],
+        [
+            (
+                "parse_go_debug2",
+                f"{PARSE_GOROUTINES} goroutines",
+                f"{parse_rate:,.0f} goroutines/s",
+            ),
+            (
+                "HTTP upload+archive",
+                f"{UPLOADS} uploads x 60 goroutines",
+                f"{upload_rate:,.0f} uploads/s",
+            ),
+        ],
+    )
+    emit(
+        "ingest",
+        metric="parse_goroutines_per_sec",
+        value=round(parse_rate),
+        unit="goroutines/s",
+        uploads_per_sec=round(upload_rate, 1),
+        parse_goroutines=PARSE_GOROUTINES,
+        uploads=UPLOADS,
+    )
+    assert parse_rate >= MIN_PARSE_RATE
+    assert upload_rate >= MIN_UPLOAD_RATE

@@ -1,6 +1,7 @@
 """Microservice fleet simulator: services, instances, RSS/CPU models."""
 
 from .cpu import CpuModel, DAY
+from .determinism import aggregate_sample, build_instance, instance_seed
 from .deployment import (
     Fleet,
     Service,
@@ -27,5 +28,8 @@ __all__ = [
     "ShardedService",
     "TrafficShape",
     "WINDOW_SECONDS",
+    "aggregate_sample",
+    "build_instance",
     "capacity_for",
+    "instance_seed",
 ]

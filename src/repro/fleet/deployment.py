@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from .cpu import CpuModel
+from .determinism import aggregate_sample, build_instance
 from .service import ServiceInstance, WINDOW_SECONDS
 from .workload import RequestMix, TrafficShape
 
@@ -71,17 +72,11 @@ class Service:
     def _make_instance(
         self, index: int, mix: RequestMix, start_time: float
     ) -> ServiceInstance:
-        return ServiceInstance(
-            service=self.config.name,
-            mix=mix,
-            traffic=self.config.traffic,
-            cpu_model=self.config.cpu_model,
-            base_rss=self.config.base_rss,
-            seed=self.seed * 1000 + self.deploys * 100 + index,
-            name=f"{self.config.name}/i-{index}",
-            start_time=start_time,
-            gc_interval=self.config.gc_interval,
-            gc_policy=self.config.gc_policy,
+        # The shared helper (repro.fleet.determinism) is what the shard
+        # workers also call: seed derivation and construction cannot
+        # drift between serial and sharded execution.
+        return build_instance(
+            self.config, self.seed, self.deploys, index, mix, start_time
         )
 
     def _start_instances(self, start_time: float) -> None:
@@ -159,22 +154,18 @@ class Service:
         """
         for instance in self.instances:
             instance.advance_window(window)
-        rss = [instance.rss() for instance in self.instances]
-        blocked = [instance.leaked_goroutines() for instance in self.instances]
-        cpu = [instance.cpu_utilization() for instance in self.instances]
-        goroutines = [
-            instance.runtime.num_goroutines for instance in self.instances
-        ]
-        scale = self.config.instances_represented
-        sample = ServiceSample(
-            t=self.now,
-            total_rss_bytes=sum(rss) * scale,
-            peak_instance_rss=max(rss),
-            total_blocked_goroutines=sum(blocked) * scale,
-            peak_instance_blocked=max(blocked),
-            mean_cpu_percent=sum(cpu) / len(cpu),
-            max_cpu_percent=max(cpu),
-            total_goroutines=sum(goroutines) * scale,
+        sample = aggregate_sample(
+            self.now,
+            (
+                (
+                    instance.rss(),
+                    instance.leaked_goroutines(),
+                    instance.cpu_utilization(),
+                    instance.runtime.num_goroutines,
+                )
+                for instance in self.instances
+            ),
+            self.config.instances_represented,
         )
         self.history.append(sample)
         return sample

@@ -1,0 +1,86 @@
+"""Determinism-critical helpers shared by serial and sharded execution.
+
+The byte-identical-histories guarantee of :mod:`repro.fleet.shard` rests
+on two formulas that used to be hand-duplicated between
+``Service._make_instance`` / ``shard._build_instance`` and
+``Service.advance_window`` / ``ShardedFleet._sample``.  Copy-discipline
+is not a determinism strategy; this module is the single source of both:
+
+* :func:`instance_seed` — an instance's RNG seed as a pure function of
+  (service seed, deploy generation, index), never of shard topology;
+* :func:`build_instance` — the one way a :class:`ServiceInstance` is
+  constructed from a config, wherever it lives;
+* :func:`aggregate_sample` — the exact arithmetic that folds
+  index-ordered per-instance stat rows into a ``ServiceSample``.
+
+Any change to a formula here changes serial and sharded execution in
+lockstep — which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, TYPE_CHECKING
+
+from .service import ServiceInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from .deployment import ServiceConfig, ServiceSample
+
+#: One instance's stat row: (rss_bytes, blocked, cpu_percent, goroutines).
+StatRow = Tuple[int, int, float, int]
+
+
+def instance_seed(service_seed: int, deploy_gen: int, index: int) -> int:
+    """The seed formula: pure in (service seed, deploy gen, index)."""
+    return service_seed * 1000 + deploy_gen * 100 + index
+
+
+def build_instance(
+    config: "ServiceConfig",
+    service_seed: int,
+    deploy_gen: int,
+    index: int,
+    mix,
+    start_time: float,
+) -> ServiceInstance:
+    """Construct one instance — identically in-process or in a shard."""
+    return ServiceInstance(
+        service=config.name,
+        mix=mix,
+        traffic=config.traffic,
+        cpu_model=config.cpu_model,
+        base_rss=config.base_rss,
+        seed=instance_seed(service_seed, deploy_gen, index),
+        name=f"{config.name}/i-{index}",
+        start_time=start_time,
+        gc_interval=config.gc_interval,
+        gc_policy=config.gc_policy,
+    )
+
+
+def aggregate_sample(
+    t: float, rows: Iterable[StatRow], scale: int
+) -> "ServiceSample":
+    """Fold index-ordered per-instance stat rows into a ServiceSample.
+
+    ``rows`` must be in instance-index order; the arithmetic (sums,
+    maxes, float mean) is the byte-identity contract between
+    ``Service.advance_window`` and the sharded parent's re-aggregation.
+    """
+    from .deployment import ServiceSample  # deferred: deployment imports us
+
+    rows = list(rows)
+    rss = [row[0] for row in rows]
+    blocked = [row[1] for row in rows]
+    cpu = [row[2] for row in rows]
+    goroutines = [row[3] for row in rows]
+    return ServiceSample(
+        t=t,
+        total_rss_bytes=sum(rss) * scale,
+        peak_instance_rss=max(rss),
+        total_blocked_goroutines=sum(blocked) * scale,
+        peak_instance_blocked=max(blocked),
+        mean_cpu_percent=sum(cpu) / len(cpu),
+        max_cpu_percent=max(cpu),
+        total_goroutines=sum(goroutines) * scale,
+    )

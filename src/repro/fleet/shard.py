@@ -32,36 +32,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.snapshot import InstanceSnapshot, snapshot_instance
 
 from .deployment import ServiceConfig, ServiceSample
+from .determinism import aggregate_sample, build_instance as _build_instance
 from .service import ServiceInstance, WINDOW_SECONDS
 from .workload import RequestMix
 
-
-def _build_instance(
-    config: ServiceConfig,
-    seed: int,
-    deploy_gen: int,
-    index: int,
-    mix: RequestMix,
-    start_time: float,
-) -> ServiceInstance:
-    """Construct one instance exactly as ``Service._make_instance`` does.
-
-    The seed derivation must match byte-for-byte — it is the whole
-    determinism story: an instance built in shard 3 of 8 is the same
-    pure function as one built inline by a single-process ``Service``.
-    """
-    return ServiceInstance(
-        service=config.name,
-        mix=mix,
-        traffic=config.traffic,
-        cpu_model=config.cpu_model,
-        base_rss=config.base_rss,
-        seed=seed * 1000 + deploy_gen * 100 + index,
-        name=f"{config.name}/i-{index}",
-        start_time=start_time,
-        gc_interval=config.gc_interval,
-        gc_policy=config.gc_policy,
-    )
+# _build_instance is repro.fleet.determinism.build_instance — the same
+# callable ``Service._make_instance`` delegates to.  An instance built in
+# shard 3 of 8 is structurally the same pure function as one built
+# inline by a single-process ``Service``; no copy to keep in sync.
 
 
 #: One instance's O(1) stats, shipped from a shard after a command.
@@ -437,24 +415,23 @@ class ShardedFleet:
                 self._sample(service)
 
     def _sample(self, service: ShardedService) -> ServiceSample:
-        """Aggregate one window's sample — ``Service.advance_window``'s
-        exact arithmetic over index-ordered mirrors (the byte-identical
-        histories guarantee lives here)."""
-        mirrors = service.instances
-        rss = [mirror.rss_bytes for mirror in mirrors]
-        blocked = [mirror.blocked for mirror in mirrors]
-        cpu = [mirror.cpu_percent for mirror in mirrors]
-        goroutines = [mirror.goroutines for mirror in mirrors]
-        scale = service.config.instances_represented
-        sample = ServiceSample(
-            t=service.now,
-            total_rss_bytes=sum(rss) * scale,
-            peak_instance_rss=max(rss),
-            total_blocked_goroutines=sum(blocked) * scale,
-            peak_instance_blocked=max(blocked),
-            mean_cpu_percent=sum(cpu) / len(cpu),
-            max_cpu_percent=max(cpu),
-            total_goroutines=sum(goroutines) * scale,
+        """Aggregate one window's sample over index-ordered mirrors.
+
+        Delegates to the shared ``aggregate_sample`` — literally the
+        same arithmetic ``Service.advance_window`` runs, which is the
+        byte-identical-histories guarantee made structural."""
+        sample = aggregate_sample(
+            service.now,
+            (
+                (
+                    mirror.rss_bytes,
+                    mirror.blocked,
+                    mirror.cpu_percent,
+                    mirror.goroutines,
+                )
+                for mirror in service.instances
+            ),
+            service.config.instances_represented,
         )
         service.history.append(sample)
         return sample

@@ -1,0 +1,46 @@
+"""repro.ingest: the multi-tenant profile ingestion service.
+
+The paper's LeakProf is a *service*: it fetches goroutine-profile files
+over the network from thousands of production instances, scans them
+daily, and files bugs per owning team.  This package is that second
+front door for the reproduction — everything else in the repo observes
+the in-process simulated runtime; ingest accepts profiles from the
+outside world (real Go ``debug=2`` output or the simulator dialect) and
+runs the existing detection stack over them.
+
+Layers::
+
+    daemon.IngestServer            HTTP upload/query endpoints, auth,
+                                   size + rate limits, content negotiation
+    store.IngestStore              sqlite profile archive + tenant registry
+    store.PersistentBugDatabase    leakprof.BugDatabase that survives restarts
+    scheduler.MultiTenantScheduler per-tenant LeakProf daily runs + diagnosis
+    client.IngestClient            stdlib urllib client (examples/tests/CLI)
+
+Run the daemon with ``python -m repro.ingest serve --db leaks.sqlite``.
+"""
+
+from .client import IngestClient, IngestError
+from .daemon import IngestServer
+from .limits import RateLimiter, TokenBucket
+from .scheduler import MultiTenantScheduler, TenantRunResult
+from .store import (
+    IngestStore,
+    PersistentBugDatabase,
+    StoredProfile,
+    Tenant,
+)
+
+__all__ = [
+    "IngestClient",
+    "IngestError",
+    "IngestServer",
+    "IngestStore",
+    "MultiTenantScheduler",
+    "PersistentBugDatabase",
+    "RateLimiter",
+    "StoredProfile",
+    "Tenant",
+    "TenantRunResult",
+    "TokenBucket",
+]

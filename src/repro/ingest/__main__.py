@@ -1,0 +1,119 @@
+"""CLI for the ingestion service.
+
+Usage::
+
+    # serve (tenants come from the DB, or --tenant name:token pairs)
+    python -m repro.ingest serve --db leaks.sqlite --port 8641 \\
+        --tenant payments:s3cret --tenant search:hunter2
+
+    # register/update a tenant in an existing DB
+    python -m repro.ingest add-tenant --db leaks.sqlite \\
+        --name payments --token s3cret --threshold 10000
+
+    # run one multi-tenant scan offline (no daemon needed)
+    python -m repro.ingest scan --db leaks.sqlite
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .daemon import IngestServer, _diagnoses_summary
+from .scheduler import MultiTenantScheduler
+from .store import IngestStore
+
+
+def _parse_tenant_flag(value: str):
+    name, sep, token = value.partition(":")
+    if not sep or not name or not token:
+        raise argparse.ArgumentTypeError(
+            f"--tenant wants name:token, got {value!r}"
+        )
+    return name, token
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ingest",
+        description="multi-tenant goroutine-profile ingestion service",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the ingestion daemon")
+    serve.add_argument("--db", default=":memory:", help="sqlite path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8641)
+    serve.add_argument(
+        "--tenant",
+        type=_parse_tenant_flag,
+        action="append",
+        default=[],
+        metavar="NAME:TOKEN",
+        help="register a tenant at startup (repeatable)",
+    )
+    serve.add_argument("--threshold", type=int, default=10_000,
+                       help="blocked-goroutine threshold for --tenant regs")
+    serve.add_argument("--admin-token", default=None)
+    serve.add_argument("--verbose", action="store_true")
+
+    add = sub.add_parser("add-tenant", help="register/update a tenant")
+    add.add_argument("--db", required=True)
+    add.add_argument("--name", required=True)
+    add.add_argument("--token", required=True)
+    add.add_argument("--threshold", type=int, default=10_000)
+    add.add_argument("--top-n", type=int, default=10)
+
+    scan = sub.add_parser("scan", help="run one multi-tenant daily run")
+    scan.add_argument("--db", required=True)
+    scan.add_argument("--now", type=float, default=0.0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        store = IngestStore(args.db)
+        for name, token in args.tenant:
+            store.register_tenant(name, token, threshold=args.threshold)
+        server = IngestServer(
+            store,
+            host=args.host,
+            port=args.port,
+            admin_token=args.admin_token,
+            quiet=not args.verbose,
+        )
+        print(f"repro.ingest serving on {server.url} (db={args.db})")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            server.close()
+            store.close()
+        return 0
+
+    if args.command == "add-tenant":
+        store = IngestStore(args.db)
+        store.register_tenant(
+            args.name, args.token, threshold=args.threshold, top_n=args.top_n
+        )
+        store.close()
+        print(f"tenant {args.name!r} registered in {args.db}")
+        return 0
+
+    if args.command == "scan":
+        store = IngestStore(args.db)
+        scheduler = MultiTenantScheduler(store)
+        results = scheduler.run_once(now=args.now)
+        for name, result in results.items():
+            payload = result.summary()
+            payload["diagnoses"] = _diagnoses_summary(result.diagnoses)
+            print(json.dumps(payload))
+        store.close()
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Stdlib HTTP client for the ingestion daemon (examples, tests, CLI).
+
+A deliberately thin urllib wrapper: the service's contract is the HTTP
+API itself, and keeping the client dumb keeps that contract honest.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+from urllib import error, request
+
+
+class IngestError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, reason: str):
+        super().__init__(f"HTTP {status}: {reason}")
+        self.status = status
+        self.reason = reason
+
+
+class IngestClient:
+    """One tenant's view of an ingestion daemon."""
+
+    def __init__(self, base_url: str, tenant: str, token: str):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.token = token
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Dict:
+        req = request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        req.add_header("Authorization", f"Bearer {self.token}")
+        for name, value in (headers or {}).items():
+            req.add_header(name, value)
+        try:
+            with request.urlopen(req) as response:
+                return json.loads(response.read().decode())
+        except error.HTTPError as err:
+            try:
+                reason = json.loads(err.read().decode()).get("error", "")
+            except Exception:
+                reason = err.reason
+            raise IngestError(err.code, reason) from None
+
+    def upload(
+        self,
+        text: str,
+        dialect: Optional[str] = None,
+        service: Optional[str] = None,
+        instance: Optional[str] = None,
+    ) -> Dict:
+        """Upload one profile text; returns the daemon's receipt."""
+        headers = {"Content-Type": "text/plain; charset=utf-8"}
+        if dialect is not None:
+            headers["Content-Type"] = (
+                f"application/x-goroutine-profile+{dialect}"
+            )
+        if service is not None:
+            headers["X-Service"] = service
+        if instance is not None:
+            headers["X-Instance"] = instance
+        return self._request(
+            "POST",
+            f"/v1/tenants/{self.tenant}/profiles",
+            body=text.encode("utf-8"),
+            headers=headers,
+        )
+
+    def profiles(self) -> Dict:
+        return self._request("GET", f"/v1/tenants/{self.tenant}/profiles")
+
+    def suspects(self) -> Dict:
+        return self._request("GET", f"/v1/tenants/{self.tenant}/suspects")
+
+    def reports(self) -> Dict:
+        return self._request("GET", f"/v1/tenants/{self.tenant}/reports")
+
+    def scan(self) -> Dict:
+        """Trigger the multi-tenant daily run (requires the admin token
+        as this client's token, when the daemon enforces one)."""
+        return self._request("POST", "/v1/scan")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/v1/stats")
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")

@@ -1,0 +1,380 @@
+"""The HTTP ingestion daemon: per-tenant profile uploads over the wire.
+
+Stdlib only (``http.server.ThreadingHTTPServer``): one thread per
+connection, which is plenty for the profile-file traffic shape — the
+paper's collection plane moves ~200K small text files per *day*.
+
+Endpoints (all JSON responses)::
+
+    GET  /healthz                          liveness probe
+    GET  /v1/stats                         archive totals
+    POST /v1/tenants/<t>/profiles          upload one profile (Bearer auth)
+    GET  /v1/tenants/<t>/profiles          archived upload metadata
+    GET  /v1/tenants/<t>/suspects          threshold scan, nothing filed
+    GET  /v1/tenants/<t>/reports           persistent bug funnel
+    POST /v1/scan                          multi-tenant daily run (admin)
+
+Uploads negotiate content: ``Content-Type:
+application/x-goroutine-profile+go`` / ``...+simulator`` pin a dialect,
+anything else is sniffed (:func:`repro.profiling.sniff_dialect`).
+Optional ``X-Service`` / ``X-Instance`` headers label the profile for
+fleet-wide RMS aggregation.  Admission control: ``Authorization: Bearer
+<tenant token>`` (401), per-tenant token-bucket rate limiting (429), a
+body-size ceiling (413), and parse validation (400) — a rejected upload
+never reaches the archive.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.leakprof.detector import scan_fleet
+from repro.profiling import parse_profile
+
+from .limits import RateLimiter
+from .scheduler import MultiTenantScheduler
+from .store import IngestStore, Tenant
+
+#: Default ceiling on one upload body.  The paper's profile files are
+#: hundreds of KB; 8 MiB accommodates a badly leaking instance's stack
+#: dump while bounding what one request can make the daemon hold.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_CONTENT_DIALECTS = {
+    "application/x-goroutine-profile+go": "go",
+    "application/x-goroutine-profile+simulator": "simulator",
+}
+
+
+class _ApiError(Exception):
+    """An error response: (status, machine-readable reason)."""
+
+    def __init__(self, status: int, reason: str):
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+
+
+class IngestServer:
+    """The ingestion service: a threaded HTTP front over an IngestStore.
+
+    ``clock`` stamps uploads and feeds the rate limiter — injectable so
+    tests drive admission control deterministically.  ``admin_token``
+    guards the mutating fleet-wide endpoints (``/v1/scan``); tenant
+    endpoints authenticate with the tenant's own token.
+    """
+
+    def __init__(
+        self,
+        store: IngestStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        rate: float = 50.0,
+        burst: float = 100.0,
+        admin_token: Optional[str] = None,
+        scheduler: Optional[MultiTenantScheduler] = None,
+        clock: Callable[[], float] = time.time,
+        quiet: bool = True,
+    ):
+        self.store = store
+        self.max_body_bytes = max_body_bytes
+        self.admin_token = admin_token
+        self.scheduler = scheduler or MultiTenantScheduler(store)
+        self.clock = clock
+        self.quiet = quiet
+        self.limiter = RateLimiter(rate=rate, burst=burst, clock=clock)
+        self.stats: Dict[str, int] = {
+            "uploads_accepted": 0,
+            "uploads_rejected": 0,
+            "scans_run": 0,
+        }
+        self._stats_lock = threading.Lock()
+        app = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Serving threads outlive slow clients; keep-alive off keeps
+            # the shutdown path prompt.
+            protocol_version = "HTTP/1.0"
+
+            def log_message(self, fmt, *args):  # noqa: N802
+                if not app.quiet:  # pragma: no cover - debug aid
+                    BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+            def do_GET(self):  # noqa: N802
+                app._dispatch(self, "GET")
+
+            def do_POST(self):  # noqa: N802
+                app._dispatch(self, "POST")
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "IngestServer":
+        """Serve in a background thread (tests, examples, embedding)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-ingest",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:  # pragma: no cover - CLI path
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "IngestServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _bump(self, counter: str) -> None:
+        with self._stats_lock:
+            self.stats[counter] += 1
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        try:
+            status, payload = self._route(handler, method)
+        except _ApiError as err:
+            if err.status in (400, 401, 413, 429):
+                self._bump("uploads_rejected")
+            status, payload = err.status, {"error": err.reason}
+        except Exception as err:  # pragma: no cover - last-resort guard
+            status, payload = 500, {"error": f"internal: {err}"}
+        body = json.dumps(payload, default=str).encode()
+        handler.send_response(status)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    def _route(
+        self, handler: BaseHTTPRequestHandler, method: str
+    ) -> Tuple[int, Dict]:
+        parts = [part for part in handler.path.split("?")[0].split("/") if part]
+        if parts == ["healthz"] and method == "GET":
+            return 200, {"status": "ok"}
+        if parts == ["v1", "stats"] and method == "GET":
+            return 200, self._handle_stats()
+        if parts == ["v1", "scan"] and method == "POST":
+            self._check_admin(handler)
+            return 200, self._handle_scan()
+        if len(parts) == 4 and parts[:2] == ["v1", "tenants"]:
+            tenant = self._authenticate(handler, parts[2])
+            action = parts[3]
+            if action == "profiles" and method == "POST":
+                return 201, self._handle_upload(handler, tenant)
+            if action == "profiles" and method == "GET":
+                return 200, self._handle_list(tenant)
+            if action == "suspects" and method == "GET":
+                return 200, self._handle_suspects(tenant)
+            if action == "reports" and method == "GET":
+                return 200, self._handle_reports(tenant)
+        raise _ApiError(404, f"no such endpoint: {method} {handler.path}")
+
+    def _bearer_token(self, handler: BaseHTTPRequestHandler) -> str:
+        auth = handler.headers.get("Authorization", "")
+        if not auth.startswith("Bearer "):
+            raise _ApiError(401, "missing bearer token")
+        return auth[len("Bearer "):].strip()
+
+    def _authenticate(
+        self, handler: BaseHTTPRequestHandler, name: str
+    ) -> Tenant:
+        tenant = self.store.tenant(name)
+        if tenant is None:
+            raise _ApiError(404, f"unknown tenant {name!r}")
+        token = self._bearer_token(handler)
+        if not hmac.compare_digest(token, tenant.token):
+            raise _ApiError(401, "bad token")
+        return tenant
+
+    def _check_admin(self, handler: BaseHTTPRequestHandler) -> None:
+        if self.admin_token is None:
+            return
+        token = self._bearer_token(handler)
+        if not hmac.compare_digest(token, self.admin_token):
+            raise _ApiError(401, "bad admin token")
+
+    # -- endpoint handlers ---------------------------------------------------
+
+    def _handle_upload(
+        self, handler: BaseHTTPRequestHandler, tenant: Tenant
+    ) -> Dict:
+        if not self.limiter.allow(tenant.name):
+            raise _ApiError(429, "rate limit exceeded")
+        try:
+            length = int(handler.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise _ApiError(400, "bad Content-Length")
+        if length <= 0:
+            raise _ApiError(400, "empty body")
+        if length > self.max_body_bytes:
+            raise _ApiError(
+                413, f"body exceeds {self.max_body_bytes} bytes"
+            )
+        raw = handler.rfile.read(length)
+        if len(raw) < length:
+            raise _ApiError(400, "truncated body")
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise _ApiError(400, "body is not UTF-8 text")
+        content_type = (
+            handler.headers.get("Content-Type", "").split(";")[0].strip()
+        )
+        dialect = _CONTENT_DIALECTS.get(content_type, "auto")
+        now = self.clock()
+        service = handler.headers.get("X-Service") or tenant.name
+        instance = handler.headers.get("X-Instance")
+        try:
+            profile, dialect = parse_profile(
+                text,
+                dialect=dialect,
+                process=instance or tenant.name,
+                taken_at=now,
+                service=service,
+                instance=instance,
+            )
+        except ValueError as err:
+            raise _ApiError(400, f"unparseable profile: {err}")
+        profile_id = self.store.store_profile(
+            tenant.name,
+            body=text,
+            dialect=dialect,
+            goroutines=len(profile),
+            service=profile.service,
+            instance=profile.instance,
+            received_at=now,
+        )
+        self._bump("uploads_accepted")
+        return {
+            "profile_id": profile_id,
+            "dialect": dialect,
+            "goroutines": len(profile),
+            "service": profile.service,
+            "instance": profile.instance,
+        }
+
+    def _handle_list(self, tenant: Tenant) -> Dict:
+        stored = self.store.profiles_for(tenant.name)
+        return {
+            "tenant": tenant.name,
+            "profiles": [
+                {
+                    "profile_id": item.profile_id,
+                    "received_at": item.received_at,
+                    "dialect": item.dialect,
+                    "service": item.service,
+                    "instance": item.instance,
+                    "goroutines": item.goroutines,
+                }
+                for item in stored
+            ],
+        }
+
+    def _handle_suspects(self, tenant: Tenant) -> Dict:
+        """Threshold scan over the tenant's archive — read-only (nothing
+        is filed; the scheduler owns report filing)."""
+        profiles = [
+            item.parse() for item in self.store.profiles_for(tenant.name)
+        ]
+        suspects = scan_fleet(profiles, threshold=tenant.threshold)
+        return {
+            "tenant": tenant.name,
+            "profiles_scanned": len(profiles),
+            "suspects": [
+                {
+                    "service": s.service,
+                    "instance": s.instance,
+                    "state": s.state,
+                    "location": s.location,
+                    "count": s.count,
+                    "proof": s.proof,
+                }
+                for s in suspects
+            ],
+        }
+
+    def _handle_reports(self, tenant: Tenant) -> Dict:
+        bug_db = self.scheduler.bug_db(tenant.name)
+        return {
+            "tenant": tenant.name,
+            "funnel": bug_db.funnel(),
+            "reports": [
+                {
+                    "report_id": r.report_id,
+                    "status": r.status.value,
+                    "owner": r.owner,
+                    "filed_at": r.filed_at,
+                    "service": r.candidate.service,
+                    "state": r.candidate.state,
+                    "location": r.candidate.location,
+                    "total_blocked": r.candidate.total_blocked,
+                    "summary": r.summary,
+                }
+                for r in bug_db.all_reports()
+            ],
+        }
+
+    def _handle_scan(self) -> Dict:
+        results = self.scheduler.run_once(now=self.clock())
+        self._bump("scans_run")
+        return {
+            "tenants": {
+                name: result.summary() for name, result in results.items()
+            }
+        }
+
+    def _handle_stats(self) -> Dict:
+        with self._stats_lock:
+            stats = dict(self.stats)
+        stats.update(
+            tenants=len(self.store.tenants()),
+            profiles_archived=self.store.profile_count(),
+            reports_filed=self.store.report_count(),
+        )
+        return stats
+
+
+def _diagnoses_summary(diagnoses: Dict[str, object]) -> List[Dict]:
+    """JSON shape for remedy diagnoses (used by the CLI's scan output)."""
+    return [
+        {
+            "suspect": key,
+            "pattern": diagnosis.pattern.name,
+            "confidence": diagnosis.confidence,
+        }
+        for key, diagnosis in diagnoses.items()
+    ]

@@ -57,8 +57,11 @@ class LeakProf:
         self.threshold = threshold
         self.top_n = top_n
         self.apply_transient_filter = apply_transient_filter
-        self.router = router or OwnershipRouter()
-        self.bug_db = bug_db or BugDatabase()
+        self.router = router if router is not None else OwnershipRouter()
+        # NOT ``bug_db or BugDatabase()``: BugDatabase defines __len__,
+        # so an *empty* database (e.g. a fresh persistent store) is falsy
+        # and would be silently swapped for a throwaway in-memory one.
+        self.bug_db = bug_db if bug_db is not None else BugDatabase()
         self.remediator = remediator
 
     def analyze_profiles(

@@ -87,6 +87,14 @@ class BugDatabase:
     def __init__(self) -> None:
         self._by_key: Dict[Tuple[Optional[str], str, str], LeakReport] = {}
 
+    def _next_report_id(self) -> int:
+        """Allocate the next report id.
+
+        Process-global by default; persistent stores override this so ids
+        survive restarts without colliding.
+        """
+        return next(_report_ids)
+
     def __len__(self) -> int:
         return len(self._by_key)
 
@@ -104,7 +112,7 @@ class BugDatabase:
         if candidate.key in self._by_key:
             return None
         report = LeakReport(
-            report_id=next(_report_ids),
+            report_id=self._next_report_id(),
             candidate=candidate,
             owner=owner,
             filed_at=filed_at,

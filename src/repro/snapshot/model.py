@@ -214,10 +214,47 @@ class RuntimeSnapshot:
     def __setstate__(self, state):
         self.__init__(**state)
 
+    @property
+    def stale(self) -> bool:
+        """True when records are unmaterialized and can no longer be
+        built consistently (the source runtime has advanced)."""
+        if self._records is not None:
+            return False
+        source_rt = self._source_rt
+        return source_rt is not None and (
+            source_rt.steps != self.steps or source_rt.now != self.taken_at
+        )
+
+    def _counter_state(self):
+        """The eagerly-copied fields — always safe to compare."""
+        return (
+            self.process,
+            self.taken_at,
+            self.num_goroutines,
+            self.blocked_goroutines,
+            self.rss_bytes,
+            self.base_rss,
+            self.state_census,
+            self.steps,
+            self.gc,
+        )
+
     def __eq__(self, other) -> bool:
+        """Counter-first equality that never forces a stale materialization.
+
+        The eager counters are compared first (cheap, always available);
+        only when they agree are records compared — and a side whose
+        records are unmaterialized *and* stale is treated as unequal
+        rather than raising: equality is a query, not an observation, so
+        it must not blow up on a snapshot that merely expired.
+        """
         if not isinstance(other, RuntimeSnapshot):
             return NotImplemented
-        return self.__getstate__() == other.__getstate__()
+        if self._counter_state() != other._counter_state():
+            return False
+        if self.stale or other.stale:
+            return False
+        return self.records == other.records
 
     def __hash__(self):  # pragma: no cover - snapshots are not set members
         return hash((self.process, self.taken_at, self.num_goroutines))

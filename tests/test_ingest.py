@@ -1,0 +1,431 @@
+"""repro.ingest — the multi-tenant ingestion service, end to end.
+
+Covers the four layers of the subsystem: the sqlite archive
+(:class:`IngestStore`), the restart-safe bug database
+(:class:`PersistentBugDatabase`), the per-tenant scheduler, and the
+HTTP daemon — the latter over a real loopback port, with golden Go
+``debug=2`` fixtures as the uploaded payloads.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.ingest import (
+    IngestClient,
+    IngestError,
+    IngestServer,
+    IngestStore,
+    MultiTenantScheduler,
+    PersistentBugDatabase,
+    RateLimiter,
+    Tenant,
+)
+from repro.leakprof import LeakProf, scan_profile
+from repro.leakprof.reports import ReportStatus
+from repro.patterns import timeout_leak
+from repro.profiling import GoroutineProfile, dump_text, parse_profile
+from repro.runtime import Runtime
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "gopprof"
+
+
+def fixture(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+def simulator_leak_text(seed: int = 7) -> str:
+    """A simulator-dialect profile with a genuine timeout leak."""
+    rt = Runtime(seed=seed, name="i-0")
+    for _ in range(6):
+        rt.run(timeout_leak.leaky, rt, detect_global_deadlock=False)
+    return dump_text(GoroutineProfile.take(rt, service="sim", instance="i-0"))
+
+
+# ---------------------------------------------------------------------------
+# IngestStore
+
+
+class TestIngestStore:
+    def test_register_tenant_is_an_upsert(self, tmp_path):
+        store = IngestStore(str(tmp_path / "a.sqlite"))
+        store.register_tenant("acme", "old-token", threshold=5)
+        store.register_tenant("acme", "new-token", threshold=3)
+        tenant = store.tenant("acme")
+        assert tenant == Tenant("acme", "new-token", 3, 10, 0.0)
+        assert [t.name for t in store.tenants()] == ["acme"]
+        store.close()
+
+    def test_profiles_archived_verbatim(self, tmp_path):
+        store = IngestStore(str(tmp_path / "a.sqlite"))
+        store.register_tenant("acme", "tok")
+        text = fixture("go1.19_chan_send_leak.txt")
+        pid = store.store_profile(
+            "acme", text, dialect="go", goroutines=6,
+            service="transactions", instance="i-1", received_at=42.0,
+        )
+        (stored,) = store.profiles_for("acme")
+        assert stored.profile_id == pid
+        assert stored.body == text
+        assert stored.received_at == 42.0
+        profile = stored.parse()
+        assert len(profile) == 6
+        assert profile.service == "transactions"
+        store.close()
+
+    def test_counters_are_durable(self, tmp_path):
+        path = str(tmp_path / "a.sqlite")
+        store = IngestStore(path)
+        assert [store.next_counter("x") for _ in range(3)] == [1, 2, 3]
+        store.close()
+        store = IngestStore(path)
+        assert store.next_counter("x") == 4
+        assert store.next_counter("y") == 1  # independent namespaces
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# PersistentBugDatabase
+
+
+class TestPersistentBugDatabase:
+    def _scan_and_file(self, store, tenant="acme"):
+        profile, _ = parse_profile(
+            fixture("go1.19_chan_send_leak.txt"), service=tenant
+        )
+        suspects = scan_profile(profile, threshold=3)
+        scheduler = MultiTenantScheduler(store)
+        db = scheduler.bug_db(tenant)
+        leakprof = LeakProf(threshold=3, bug_db=db)
+        result = leakprof.analyze_profiles([profile], now=1.0)
+        return db, result, suspects
+
+    def test_reports_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "bugs.sqlite")
+        store = IngestStore(path)
+        store.register_tenant("acme", "tok", threshold=3)
+        db, result, suspects = self._scan_and_file(store)
+        assert len(suspects) == 1
+        assert len(result.new_reports) == 1
+        assert store.report_count("acme") == 1
+        store.close()
+
+        store = IngestStore(path)
+        db = PersistentBugDatabase(store, "acme")
+        (report,) = db.all_reports()
+        assert report.candidate.location == "/srv/transactions/cost.go:8"
+        assert report.candidate.state == "chan send"
+        assert report.status is ReportStatus.OPEN
+        assert db.funnel() == {"reported": 1, "acknowledged": 0, "fixed": 0}
+        store.close()
+
+    def test_lifecycle_transitions_persist(self, tmp_path):
+        path = str(tmp_path / "bugs.sqlite")
+        store = IngestStore(path)
+        store.register_tenant("acme", "tok", threshold=3)
+        db, _, _ = self._scan_and_file(store)
+        (report,) = db.all_reports()
+        db.acknowledge(report)
+        db.propose_fix(report)
+        db.mark_fix_verified(report)
+        db.mark_deployed(report)
+        store.close()
+
+        store = IngestStore(path)
+        (report,) = PersistentBugDatabase(store, "acme").all_reports()
+        assert report.status is ReportStatus.DEPLOYED
+        assert PersistentBugDatabase(store, "acme").funnel() == {
+            "reported": 1, "acknowledged": 1, "fixed": 1,
+        }
+        store.close()
+
+    def test_report_ids_never_collide_across_restarts(self, tmp_path):
+        path = str(tmp_path / "bugs.sqlite")
+        store = IngestStore(path)
+        store.register_tenant("acme", "tok", threshold=3)
+        db, _, _ = self._scan_and_file(store)
+        (first,) = db.all_reports()
+        store.close()
+
+        # a fresh process must keep allocating *after* the persisted ids
+        store = IngestStore(path)
+        db = PersistentBugDatabase(store, "acme")
+        assert db._next_report_id() > first.report_id
+        store.close()
+
+    def test_refiling_known_leak_is_a_duplicate(self, tmp_path):
+        store = IngestStore(str(tmp_path / "bugs.sqlite"))
+        store.register_tenant("acme", "tok", threshold=3)
+        _, first, _ = self._scan_and_file(store)
+        _, second, _ = self._scan_and_file(store)
+        assert len(first.new_reports) == 1
+        assert len(second.new_reports) == 0
+        assert len(second.duplicates) == 1
+        assert store.report_count("acme") == 1
+        store.close()
+
+    def test_tenants_do_not_share_reports(self, tmp_path):
+        store = IngestStore(str(tmp_path / "bugs.sqlite"))
+        store.register_tenant("acme", "a", threshold=3)
+        store.register_tenant("globex", "b", threshold=3)
+        self._scan_and_file(store, tenant="acme")
+        assert len(PersistentBugDatabase(store, "acme")) == 1
+        assert len(PersistentBugDatabase(store, "globex")) == 0
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# RateLimiter
+
+
+class TestRateLimiter:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=2.0, clock=lambda: now[0])
+        assert limiter.allow("acme")
+        assert limiter.allow("acme")
+        assert not limiter.allow("acme")
+        now[0] = 1.0
+        assert limiter.allow("acme")
+
+    def test_keys_are_independent(self):
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=lambda: 0.0)
+        assert limiter.allow("acme")
+        assert not limiter.allow("acme")
+        assert limiter.allow("globex")
+
+
+# ---------------------------------------------------------------------------
+# Daemon end-to-end (real HTTP over loopback)
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live daemon over a file-backed store with two tenants."""
+    store = IngestStore(str(tmp_path / "ingest.sqlite"))
+    store.register_tenant("acme", "tok-a", threshold=3)
+    store.register_tenant("globex", "tok-b", threshold=3)
+    server = IngestServer(store, admin_token="adm").start()
+    yield server, store
+    server.close()
+    store.close()
+
+
+class TestDaemon:
+    def _upload_fleet(self, server):
+        """Two tenants x three dialect-diverse profiles each."""
+        acme = IngestClient(server.url, "acme", "tok-a")
+        globex = IngestClient(server.url, "globex", "tok-b")
+        for name in (
+            "go1.19_chan_send_leak.txt",
+            "go1.21_wait_states.txt",
+            "go1.22_select_timeout_leak.txt",
+        ):
+            receipt = acme.upload(fixture(name), instance="i-1")
+            assert receipt["dialect"] == "go"
+        globex.upload(fixture("go1.19_chan_send_leak.txt"), instance="i-9")
+        globex.upload(fixture("go1.21_wait_states.txt"), instance="i-9")
+        receipt = globex.upload(simulator_leak_text(), instance="i-9")
+        assert receipt["dialect"] == "simulator"
+        return acme, globex
+
+    def test_health_and_stats(self, served):
+        server, _ = served
+        client = IngestClient(server.url, "acme", "tok-a")
+        assert client.healthz() == {"status": "ok"}
+        stats = client.stats()
+        assert stats["tenants"] == 2
+        assert stats["uploads_accepted"] == 0
+
+    def test_upload_scan_report_cycle(self, served):
+        server, store = served
+        acme, globex = self._upload_fleet(server)
+        assert store.profile_count() == 6
+
+        admin = IngestClient(server.url, "-", "adm")
+        scan = admin.scan()
+        assert scan["tenants"]["acme"]["profiles_scanned"] == 3
+        assert scan["tenants"]["acme"]["new_reports"] == 2
+        assert scan["tenants"]["globex"]["new_reports"] >= 2
+
+        reports = acme.reports()
+        assert reports["funnel"]["reported"] == 2
+        locations = {r["location"] for r in reports["reports"]}
+        assert locations == {
+            "/srv/transactions/cost.go:8",
+            "/srv/checkout/quote.go:73",
+        }
+        assert all(r["status"] == "open" for r in reports["reports"])
+
+        # re-scanning must not re-file (dedup by candidate key)
+        rescan = admin.scan()
+        assert rescan["tenants"]["acme"]["new_reports"] == 0
+        assert rescan["tenants"]["acme"]["duplicates"] == 2
+        assert acme.reports()["funnel"]["reported"] == 2
+
+    def test_suspects_endpoint_is_read_only(self, served):
+        server, store = served
+        acme, _ = self._upload_fleet(server)
+        body = acme.suspects()
+        assert body["profiles_scanned"] == 3
+        assert {
+            (s["state"], s["location"], s["count"])
+            for s in body["suspects"]
+        } == {
+            ("chan send", "/srv/transactions/cost.go:8", 4),
+            ("select", "/srv/checkout/quote.go:73", 4),
+        }
+        assert store.report_count() == 0  # nothing filed
+
+    def test_funnel_survives_daemon_restart(self, served, tmp_path):
+        server, store = served
+        acme, _ = self._upload_fleet(server)
+        IngestClient(server.url, "-", "adm").scan()
+
+        # triage one report through the remediation funnel
+        db = server.scheduler.bug_db("acme")
+        report = next(
+            r for r in db.all_reports()
+            if r.candidate.location == "/srv/transactions/cost.go:8"
+        )
+        db.acknowledge(report)
+        db.propose_fix(report)
+        db.mark_fix_verified(report)
+
+        server.close()
+        store.close()
+
+        # a brand-new daemon over the same sqlite file sees everything
+        store2 = IngestStore(str(tmp_path / "ingest.sqlite"))
+        with IngestServer(store2, admin_token="adm") as server2:
+            acme2 = IngestClient(server2.url, "acme", "tok-a")
+            reports = acme2.reports()
+            assert reports["funnel"] == {
+                "reported": 2, "acknowledged": 1, "fixed": 0,
+            }
+            statuses = {r["location"]: r["status"] for r in reports["reports"]}
+            assert statuses["/srv/transactions/cost.go:8"] == "fix_verified"
+            assert statuses["/srv/checkout/quote.go:73"] == "open"
+            assert acme2.profiles()["profiles"][0]["dialect"] == "go"
+        store2.close()
+
+    def test_content_type_pins_dialect(self, served):
+        server, _ = served
+        acme = IngestClient(server.url, "acme", "tok-a")
+        receipt = acme.upload(
+            fixture("go1.21_wait_states.txt"), dialect="go", service="pipeline"
+        )
+        assert receipt["dialect"] == "go"
+        assert receipt["service"] == "pipeline"
+        assert receipt["goroutines"] == 7
+        # declaring the wrong dialect is a 400, not silent mis-parsing
+        with pytest.raises(IngestError) as err:
+            acme.upload(fixture("go1.21_wait_states.txt"), dialect="simulator")
+        assert err.value.status == 400
+
+
+class TestDaemonRejections:
+    def test_bad_token_is_401(self, served):
+        server, _ = served
+        client = IngestClient(server.url, "acme", "wrong-token")
+        with pytest.raises(IngestError) as err:
+            client.upload(fixture("go1.19_chan_send_leak.txt"))
+        assert err.value.status == 401
+
+    def test_missing_bearer_is_401(self, served):
+        server, _ = served
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            server.url + "/v1/tenants/acme/profiles",
+            data=b"goroutine 1 [running]:\n", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 401
+
+    def test_unknown_tenant_is_404(self, served):
+        server, _ = served
+        client = IngestClient(server.url, "initech", "tok-a")
+        with pytest.raises(IngestError) as err:
+            client.upload(fixture("go1.19_chan_send_leak.txt"))
+        assert err.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, served):
+        server, _ = served
+        client = IngestClient(server.url, "acme", "tok-a")
+        with pytest.raises(IngestError) as err:
+            client._request("GET", "/v1/tenants/acme/nonsense")
+        assert err.value.status == 404
+
+    def test_oversized_body_is_413(self, tmp_path):
+        store = IngestStore(str(tmp_path / "x.sqlite"))
+        store.register_tenant("acme", "tok", threshold=3)
+        with IngestServer(store, max_body_bytes=64) as server:
+            client = IngestClient(server.url, "acme", "tok")
+            with pytest.raises(IngestError) as err:
+                client.upload(fixture("go1.19_chan_send_leak.txt"))
+            assert err.value.status == 413
+            assert client.stats()["uploads_rejected"] == 1
+        store.close()
+
+    def test_truncated_profile_is_400(self, served):
+        server, _ = served
+        client = IngestClient(server.url, "acme", "tok-a")
+        with pytest.raises(IngestError) as err:
+            client.upload(fixture("malformed_truncated.txt"))
+        assert err.value.status == 400
+        assert "unparseable" in err.value.reason
+
+    def test_garbage_and_empty_bodies_are_400(self, served):
+        server, _ = served
+        client = IngestClient(server.url, "acme", "tok-a")
+        with pytest.raises(IngestError) as err:
+            client.upload("not a profile at all\n")
+        assert err.value.status == 400
+        with pytest.raises(IngestError) as err:
+            client.upload("")
+        assert err.value.status == 400
+
+    def test_rate_limit_is_429(self, tmp_path):
+        store = IngestStore(str(tmp_path / "x.sqlite"))
+        store.register_tenant("acme", "tok", threshold=3)
+        frozen = lambda: 100.0  # noqa: E731 - bucket never refills
+        with IngestServer(store, burst=2.0, clock=frozen) as server:
+            client = IngestClient(server.url, "acme", "tok")
+            client.upload(fixture("go1.19_chan_send_leak.txt"))
+            client.upload(fixture("go1.19_chan_send_leak.txt"))
+            with pytest.raises(IngestError) as err:
+                client.upload(fixture("go1.19_chan_send_leak.txt"))
+            assert err.value.status == 429
+        store.close()
+
+    def test_scan_requires_admin_token(self, served):
+        server, _ = served
+        with pytest.raises(IngestError) as err:
+            IngestClient(server.url, "-", "tok-a").scan()
+        assert err.value.status == 401
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_add_tenant_then_offline_scan(self, tmp_path, capsys):
+        from repro.ingest.__main__ import main
+
+        db = str(tmp_path / "cli.sqlite")
+        assert main(["add-tenant", "--db", db, "--name", "acme",
+                     "--token", "tok", "--threshold", "3"]) == 0
+        store = IngestStore(db)
+        assert store.tenant("acme").threshold == 3
+        store.store_profile(
+            "acme", fixture("go1.19_chan_send_leak.txt"),
+            dialect="go", goroutines=6,
+        )
+        store.close()
+        assert main(["scan", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert '"new_reports": 1' in out

@@ -16,6 +16,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fleet import (
+    aggregate_sample,
+    build_instance,
+    instance_seed,
     Fleet,
     RequestMix,
     Service,
@@ -272,3 +275,42 @@ class TestPartialDeployStructuralEquality:
         deploys_before = service.deploys
         assert service.partial_deploy(leaky_mix()) == []
         assert service.deploys == deploys_before
+
+
+class TestDeterminismHelpers:
+    """The shared seed/build/aggregate formulas (repro.fleet.determinism)
+    are the single source both execution paths consume."""
+
+    def test_instance_seed_is_pure_and_topology_free(self):
+        assert instance_seed(7, 0, 3) == 7003
+        assert instance_seed(7, 2, 3) == 7203
+        # regenerating an instance after N deploys lands on the same
+        # seed regardless of which shard asks
+        assert instance_seed(42, 1, 0) == instance_seed(42, 1, 0)
+
+    def test_build_instance_matches_service_private_path(self):
+        config = ServiceConfig(name="checkout", instances=2, mix=leaky_mix())
+        service = Service(config, seed=9)
+        # live instances were built one generation back: _start_instances
+        # bumps the deploy counter after constructing them
+        built = build_instance(
+            config, 9, service.deploys - 1, 1, config.mix, service.now
+        )
+        twin = service.instances[1]
+        assert built.name == twin.name
+        # same seed formula => identical freshly-seeded RNG state
+        assert built.runtime.rng.getstate() == twin.runtime.rng.getstate()
+
+    def test_aggregate_sample_accepts_any_iterable_once(self):
+        rows = iter(
+            [(100, 2, 50.0, 10), (300, 4, 30.0, 20)]
+        )  # a generator: must be consumed exactly once internally
+        sample = aggregate_sample(5.0, rows, scale=3)
+        assert sample.t == 5.0
+        assert sample.total_rss_bytes == 400 * 3
+        assert sample.peak_instance_rss == 300
+        assert sample.total_blocked_goroutines == 6 * 3
+        assert sample.peak_instance_blocked == 4
+        assert sample.mean_cpu_percent == 40.0
+        assert sample.max_cpu_percent == 50.0
+        assert sample.total_goroutines == 30 * 3

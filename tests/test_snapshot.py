@@ -153,6 +153,49 @@ class TestPickleRoundTrips:
         assert pickle.loads(pickle.dumps(snap)).records == ()
 
 
+class TestSnapshotEquality:
+    """``__eq__`` never raises — not even on stale lazy snapshots."""
+
+    def test_materialized_snapshots_compare_by_value(self):
+        rt = _leaky_runtime()
+        a = snapshot_runtime(rt)
+        b = snapshot_runtime(rt)
+        assert a.records == b.records  # materialize both
+        assert a == b
+        assert a == pickle.loads(pickle.dumps(a))
+
+    def test_stale_snapshot_compares_unequal_instead_of_raising(self):
+        rt = _leaky_runtime()
+        fresh = snapshot_runtime(rt)
+        materialized = pickle.loads(pickle.dumps(fresh))  # self-contained
+        stale = snapshot_runtime(rt)
+        rt.run(
+            timeout_leak.leaky,
+            rt,
+            deadline=rt.now + 30.0,
+            detect_global_deadlock=False,
+        )
+        assert stale.stale
+        # the counters agree, but the stale side's stacks are gone for
+        # good — equality must answer False, not blow up mid-comparison
+        assert stale != materialized
+        assert materialized != stale
+        # direct record access still fails loudly (observer contract)
+        with pytest.raises(RuntimeError, match="has advanced"):
+            _ = stale.records
+
+    def test_counter_mismatch_short_circuits_before_records(self):
+        rt_a = Runtime(seed=0, name="a")
+        rt_b = _leaky_runtime()
+        # different counters: unequal without touching either lazy side
+        assert snapshot_runtime(rt_a) != snapshot_runtime(rt_b)
+
+    def test_eq_against_other_types(self):
+        rt = Runtime(seed=0, name="a")
+        assert snapshot_runtime(rt) != "not a snapshot"
+        assert snapshot_runtime(rt) != object()
+
+
 class TestSnapshotVsLiveParity:
     def test_profile_take_equals_from_snapshot(self):
         rt = _leaky_runtime()
