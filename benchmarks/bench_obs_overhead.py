@@ -1,0 +1,94 @@
+"""Observability overhead: the instrumented hot path vs metrics off.
+
+The paper's production bar is that monitoring must be featherlight
+(<1% CPU for LeakProf's collection plane); :mod:`repro.obs` holds itself
+to the same discipline by instrumenting at *run/window granularity* —
+one histogram observation per ``run_until_quiescent`` call, never per
+interpreter step.  This bench proves it: the ping-pong workload from
+``bench_sched_throughput`` runs twice, once with the default registry
+enabled and once disabled, interleaved so thermal/JIT drift hits both
+sides equally.  The emitted JSON doubles as the CI gate — overhead above
+``OBS_OVERHEAD_TOLERANCE`` (5%) fails the benchmarks job.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+
+from _emit import emit
+from bench_sched_throughput import PING_ROUNDS, SEED, run_ping_pong
+from conftest import print_table
+
+#: CI gate: instrumentation may cost at most this fraction of steps/sec.
+OBS_OVERHEAD_TOLERANCE = 0.05
+
+#: Interleaved (disabled, enabled) measurement pairs; best-of wins, so a
+#: single noisy pair cannot fake a regression on either side.
+PAIRS = 3
+
+
+def _one_run() -> float:
+    start = time.perf_counter()
+    rt = run_ping_pong(PING_ROUNDS)
+    return rt.steps / (time.perf_counter() - start)
+
+
+def measure_pair() -> tuple:
+    """(steps/sec with obs disabled, steps/sec with obs enabled)."""
+    obs.configure(enabled=False, trace_enabled=False)
+    disabled = _one_run()
+    obs.configure(enabled=True, trace_enabled=True)
+    enabled = _one_run()
+    return disabled, enabled
+
+
+def test_obs_overhead():
+    was_enabled = obs.enabled()
+    try:
+        obs.configure(enabled=False, trace_enabled=False)
+        run_ping_pong(500)  # warmup
+        best_disabled = 0.0
+        best_enabled = 0.0
+        for _ in range(PAIRS):
+            disabled, enabled = measure_pair()
+            best_disabled = max(best_disabled, disabled)
+            best_enabled = max(best_enabled, enabled)
+    finally:
+        obs.configure(enabled=was_enabled, trace_enabled=was_enabled)
+        obs.reset()
+
+    overhead = max(0.0, 1.0 - best_enabled / best_disabled)
+
+    print_table(
+        "Observability overhead (ping-pong steps/sec)",
+        ["metric", "obs off", "obs on", "overhead"],
+        [
+            (
+                "steps/sec (best of 3)",
+                f"{best_disabled:,.0f}",
+                f"{best_enabled:,.0f}",
+                f"{overhead:.2%}",
+            )
+        ],
+    )
+
+    emit(
+        "obs_overhead",
+        metric="steps_per_sec_overhead",
+        value=round(overhead, 4),
+        unit="fraction",
+        seed=SEED,
+        steps_per_sec_disabled=round(best_disabled),
+        steps_per_sec_enabled=round(best_enabled),
+        ping_rounds=PING_ROUNDS,
+        pairs=PAIRS,
+        tolerance=OBS_OVERHEAD_TOLERANCE,
+    )
+
+    assert overhead <= OBS_OVERHEAD_TOLERANCE, (
+        f"instrumentation costs {overhead:.2%} of steps/sec "
+        f"(tolerance {OBS_OVERHEAD_TOLERANCE:.0%}): "
+        f"{best_enabled:,.0f} on vs {best_disabled:,.0f} off"
+    )

@@ -23,6 +23,7 @@ This demo drives the whole loop over HTTP on a loopback port:
 import tempfile
 from pathlib import Path
 
+from repro import obs
 from repro.ingest import IngestClient, IngestServer, IngestStore
 from repro.patterns import healthy, timeout_leak
 from repro.profiling import GoroutineProfile, dump_go_debug2, dump_text
@@ -169,11 +170,33 @@ def main():
     store = IngestStore(db_path)
     server = IngestServer(store, admin_token="admin-secret").start()
     print_tenant_state(server, "payments", "tok-pay")
-    stats = IngestClient(server.url, "-", "admin-secret").stats()
+    admin = IngestClient(server.url, "-", "admin-secret")
+    stats = admin.stats()
     print(
         f"\n  archive after restart: {stats['profiles_archived']} profiles, "
         f"{stats['reports_filed']} reports, {stats['tenants']} tenants"
     )
+
+    # Scrape timings below are wall-clock and vary run-to-run; the
+    # request/upload/archive counts are deterministic.
+    print("\n== act 5: the daemon observes itself ==")
+    scrape = admin.metrics()
+    families = obs.parse_prometheus_text(scrape)
+    for name in (
+        "repro_ingest_requests_total",
+        "repro_ingest_uploads_total",
+        "repro_ingest_archive",
+        "repro_ingest_tenant_runs_total",
+    ):
+        if name in families:
+            for sample in families[name].samples:
+                if not sample.name.endswith(("_bucket", "_sum")):
+                    labels = ",".join(
+                        f"{k}={v}" for k, v in sorted(sample.labels.items())
+                    )
+                    print(f"  {sample.name}{{{labels}}} {sample.value:g}")
+    print("\n  pipeline-side digest (spans from the daily runs):")
+    print(obs.summary(max_traces=2))
     server.close()
     store.close()
 

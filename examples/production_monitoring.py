@@ -11,6 +11,7 @@ the same services run in worker processes, LeakProf sweeps the shipped
 snapshots, and the monitoring story comes out byte-identical.
 """
 
+from repro import obs
 from repro.fleet import (
     Fleet,
     RequestMix,
@@ -116,6 +117,13 @@ def main():
           "(fixed leak stays quiet; bug DB dedupes) ==")
 
     sharded_variant(day1_histories)
+
+    # Every layer above recorded into repro.obs as a side effect; the
+    # digest doubles as an instrumentation smoke test.  Durations below
+    # are wall-clock (the one non-deterministic section of this output);
+    # counts, suspects, and reports are reproducible run-to-run.
+    print("\n== observability: what the run recorded about itself ==")
+    print(obs.summary(max_traces=2))
 
 
 def sharded_variant(day1_histories):

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
+
 from .cpu import CpuModel
 from .determinism import aggregate_sample, build_instance
 from .service import ServiceInstance, WINDOW_SECONDS
@@ -168,6 +170,19 @@ class Service:
             self.config.instances_represented,
         )
         self.history.append(sample)
+        reg = obs.default_registry()
+        if reg.enabled:
+            health = reg.gauge(
+                "repro_fleet_service_health",
+                "Latest aggregated service sample, by service/field",
+                ("service", "field"),
+            )
+            name = self.config.name
+            health.labels(name, "rss_bytes").set(sample.total_rss_bytes)
+            health.labels(name, "blocked_goroutines").set(
+                sample.total_blocked_goroutines
+            )
+            health.labels(name, "instances").set(len(self.instances))
         return sample
 
     # -- observability --------------------------------------------------------

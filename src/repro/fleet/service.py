@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
+from repro.obs.registry import monotonic as _monotonic
 from repro.profiling import GoroutineProfile
 from repro.runtime import Runtime
 
@@ -95,7 +97,14 @@ class ServiceInstance:
         self.requests_served += 1
 
     def advance_window(self, window: float = WINDOW_SECONDS) -> InstanceMetrics:
-        """Serve one window's traffic, then record a metrics sample."""
+        """Serve one window's traffic, then record a metrics sample.
+
+        Instrumented at window granularity (one observation per call,
+        labeled by service — never by instance, which would be
+        unbounded cardinality under churn).
+        """
+        reg = obs.default_registry()
+        started = _monotonic() if reg.enabled else 0.0
         t = self.runtime.now
         request_count = self.traffic.requests_at(t)
         for _ in range(request_count):
@@ -113,6 +122,22 @@ class ServiceInstance:
             blocked_goroutines=self.runtime.blocked_goroutines_count,
         )
         self.metrics.append(sample)
+        if reg.enabled:
+            reg.histogram(
+                "repro_fleet_window_seconds",
+                "Wall-clock duration of one instance observation window",
+                ("service",),
+            ).labels(self.service).observe(_monotonic() - started)
+            reg.counter(
+                "repro_fleet_windows_total",
+                "Observation windows served, by service",
+                ("service",),
+            ).labels(self.service).inc()
+            reg.counter(
+                "repro_fleet_requests_total",
+                "Requests served inside observation windows, by service",
+                ("service",),
+            ).labels(self.service).inc(request_count)
         return sample
 
     # -- observability (what the paper's infra sees) -------------------------

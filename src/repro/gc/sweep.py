@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro import obs
+
 from .mark import LeakProof, MarkResult, Verdict, mark
 from .reclaim import ReclaimPolicy, ReclaimStats, reclaim_goroutines
 from .refs import ReferenceTracker
@@ -116,10 +118,24 @@ def run_sweep(
     tracker = state.tracker
     started = time.perf_counter()
     work_before = tracker.work()
+    reg = obs.default_registry()
+    recording = reg.enabled
+    phase_seconds = (
+        reg.histogram(
+            "repro_gc_phase_seconds",
+            "Wall-clock duration of one gc sweep phase",
+            ("phase",),
+        )
+        if recording
+        else None
+    )
 
     if full:
         state.proven.clear()
     rescanned = tracker.sync(full=full)
+    if recording:
+        phase_seconds.labels("sync").observe(time.perf_counter() - started)
+        mark_started = time.perf_counter()
 
     # Prune proofs of goroutines that already left (reclaimed earlier).
     alive_gids = {
@@ -135,6 +151,10 @@ def run_sweep(
         skip=frozenset(state.proven),
         orbit_rule=policy.orbit_rule,
     )
+    if recording:
+        phase_seconds.labels("mark").observe(
+            time.perf_counter() - mark_started
+        )
 
     # Stamp verdicts: fresh ones from this mark pass, carried proofs for
     # the goroutines the incremental pass skipped.
@@ -151,6 +171,7 @@ def run_sweep(
 
     reclaim_stats: Optional[ReclaimStats] = None
     if policy.mode.reclaims and state.proven:
+        reclaim_started = time.perf_counter()
         targets = [
             runtime._goroutines[gid]
             for gid in state.proven
@@ -162,6 +183,10 @@ def run_sweep(
             proofs=state.proven,
             keep_reports=policy.mode is ReclaimPolicy.RECLAIM_AND_REPORT,
         )
+        if recording:
+            phase_seconds.labels("reclaim").observe(
+                time.perf_counter() - reclaim_started
+            )
         # Reclaimed goroutines are gone; survivors were woken by the
         # unwind (wherever they parked next is a new state) and must be
         # re-proven — or not — by the next sweep.
@@ -192,4 +217,28 @@ def run_sweep(
         wall_seconds=time.perf_counter() - started,
     )
     state.reports.append(report)
+    if recording:
+        reg.counter(
+            "repro_gc_sweeps_total", "Reachability sweeps executed"
+        ).inc()
+        reg.counter(
+            "repro_gc_proofs_total", "Leak proofs newly established"
+        ).inc(len(newly_proven))
+        verdict_gauge = reg.gauge(
+            "repro_gc_verdicts",
+            "Verdict counts from the most recent sweep",
+            ("verdict",),
+        )
+        verdict_gauge.labels("live").set(report.live)
+        verdict_gauge.labels("possibly_leaked").set(report.possibly_leaked)
+        verdict_gauge.labels("proven_leaked").set(report.proven_leaked)
+        if reclaim_stats is not None:
+            reg.counter(
+                "repro_gc_reclaimed_goroutines_total",
+                "Proven-leaked goroutines reclaimed in place",
+            ).inc(reclaim_stats.reclaimed)
+            reg.counter(
+                "repro_gc_reclaimed_bytes_total",
+                "Bytes released by goroutine reclamation",
+            ).inc(reclaim_stats.bytes_released)
     return report

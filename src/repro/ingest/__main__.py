@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
 from .daemon import IngestServer, _diagnoses_summary
@@ -72,6 +73,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "serve":
+        # Request logs (one structured line per request) go through the
+        # "repro.ingest" logger; 401/429 rejections surface even without
+        # --verbose.
+        logging.basicConfig(
+            level=logging.INFO if args.verbose else logging.WARNING,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
         store = IngestStore(args.db)
         for name, token in args.tenant:
             store.register_tenant(name, token, threshold=args.threshold)

@@ -94,3 +94,12 @@ class IngestClient:
 
     def healthz(self) -> Dict:
         return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The daemon's raw Prometheus text exposition (no auth needed)."""
+        req = request.Request(self.base_url + "/metrics", method="GET")
+        try:
+            with request.urlopen(req) as response:
+                return response.read().decode("utf-8")
+        except error.HTTPError as err:
+            raise IngestError(err.code, err.reason) from None

@@ -4,9 +4,10 @@ Stdlib only (``http.server.ThreadingHTTPServer``): one thread per
 connection, which is plenty for the profile-file traffic shape — the
 paper's collection plane moves ~200K small text files per *day*.
 
-Endpoints (all JSON responses)::
+Endpoints (JSON responses unless noted)::
 
-    GET  /healthz                          liveness probe
+    GET  /healthz                          liveness probe (uptime included)
+    GET  /metrics                          Prometheus text exposition
     GET  /v1/stats                         archive totals
     POST /v1/tenants/<t>/profiles          upload one profile (Bearer auth)
     GET  /v1/tenants/<t>/profiles          archived upload metadata
@@ -22,23 +23,42 @@ fleet-wide RMS aggregation.  Admission control: ``Authorization: Bearer
 <tenant token>`` (401), per-tenant token-bucket rate limiting (429), a
 body-size ceiling (413), and parse validation (400) — a rejected upload
 never reaches the archive.
+
+Observability: every server owns a *private*
+:class:`~repro.obs.MetricsRegistry` (so two servers in one process never
+mix counters) whose series back both ``/v1/stats`` and ``/metrics``;
+``/metrics`` merges in the process-wide :mod:`repro.obs` registry so
+scheduler, gc, and LeakProf series ride the same scrape.  Request logs
+go through ``logging.getLogger("repro.ingest")`` — one structured line
+per request (method, endpoint, status, tenant, latency) when
+``quiet=False``; auth and rate-limit rejections (401/429) are logged
+even when quiet.
 """
 
 from __future__ import annotations
 
 import hmac
 import json
+import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.leakprof.detector import scan_fleet
+from repro.obs.registry import (
+    MetricsRegistry,
+    monotonic as _monotonic,
+    render_prometheus,
+)
 from repro.profiling import parse_profile
 
 from .limits import RateLimiter
 from .scheduler import MultiTenantScheduler
 from .store import IngestStore, Tenant
+
+logger = logging.getLogger("repro.ingest")
 
 #: Default ceiling on one upload body.  The paper's profile files are
 #: hundreds of KB; 8 MiB accommodates a badly leaking instance's stack
@@ -49,6 +69,25 @@ _CONTENT_DIALECTS = {
     "application/x-goroutine-profile+go": "go",
     "application/x-goroutine-profile+simulator": "simulator",
 }
+
+#: Upload body sizes, in bytes (256 B through the 8 MiB ceiling).
+_BYTE_BUCKETS = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 8388608.0,
+)
+
+#: Content type for the Prometheus text exposition format 0.0.4.
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _TextResponse:
+    """A non-JSON response body (the ``/metrics`` exposition)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: str, content_type: str):
+        self.body = body
+        self.content_type = content_type
 
 
 class _ApiError(Exception):
@@ -66,7 +105,9 @@ class IngestServer:
     ``clock`` stamps uploads and feeds the rate limiter — injectable so
     tests drive admission control deterministically.  ``admin_token``
     guards the mutating fleet-wide endpoints (``/v1/scan``); tenant
-    endpoints authenticate with the tenant's own token.
+    endpoints authenticate with the tenant's own token.  ``registry``
+    defaults to a fresh private :class:`MetricsRegistry` per server —
+    pass one explicitly to aggregate several servers.
     """
 
     def __init__(
@@ -81,6 +122,7 @@ class IngestServer:
         scheduler: Optional[MultiTenantScheduler] = None,
         clock: Callable[[], float] = time.time,
         quiet: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.store = store
         self.max_body_bytes = max_body_bytes
@@ -89,12 +131,41 @@ class IngestServer:
         self.clock = clock
         self.quiet = quiet
         self.limiter = RateLimiter(rate=rate, burst=burst, clock=clock)
-        self.stats: Dict[str, int] = {
-            "uploads_accepted": 0,
-            "uploads_rejected": 0,
-            "scans_run": 0,
-        }
-        self._stats_lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._started = _monotonic()
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_ingest_requests_total",
+            "HTTP requests served, by method/endpoint/status",
+            ("method", "endpoint", "status"),
+        )
+        self._m_request_seconds = reg.histogram(
+            "repro_ingest_request_seconds",
+            "HTTP request handling latency",
+            ("endpoint",),
+        )
+        self._m_uploads = reg.counter(
+            "repro_ingest_uploads_total",
+            "Profile uploads, by admission result",
+            ("result",),
+        )
+        self._m_rejections = reg.counter(
+            "repro_ingest_rejections_total",
+            "Requests rejected by admission control, by HTTP status",
+            ("status",),
+        )
+        self._m_scans = reg.counter(
+            "repro_ingest_scans_total", "Multi-tenant daily scans run"
+        )
+        self._m_parse_seconds = reg.histogram(
+            "repro_ingest_parse_seconds",
+            "Profile parse latency on the upload path",
+        )
+        self._m_upload_bytes = reg.histogram(
+            "repro_ingest_upload_bytes",
+            "Accepted upload body sizes in bytes",
+            buckets=_BYTE_BUCKETS,
+        )
         app = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -103,8 +174,10 @@ class IngestServer:
             protocol_version = "HTTP/1.0"
 
             def log_message(self, fmt, *args):  # noqa: N802
-                if not app.quiet:  # pragma: no cover - debug aid
-                    BaseHTTPRequestHandler.log_message(self, fmt, *args)
+                # The daemon writes one structured line per request from
+                # _dispatch; the default stderr access log would double
+                # every entry.
+                pass
 
             def do_GET(self):  # noqa: N802
                 app._dispatch(self, "GET")
@@ -115,6 +188,16 @@ class IngestServer:
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Admission counters, read straight from the metrics registry —
+        ``/v1/stats`` and ``/metrics`` report from one source of truth."""
+        return {
+            "uploads_accepted": int(self._m_uploads.labels("accepted").value),
+            "uploads_rejected": int(self._m_rejections.total),
+            "scans_run": int(self._m_scans.value),
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -159,32 +242,89 @@ class IngestServer:
 
     # -- request plumbing ----------------------------------------------------
 
-    def _bump(self, counter: str) -> None:
-        with self._stats_lock:
-            self.stats[counter] += 1
+    @staticmethod
+    def _endpoint_label(path: str) -> Tuple[str, Optional[str]]:
+        """``(endpoint, tenant)`` with endpoint normalized to a bounded
+        vocabulary — tenant names never become metric label values."""
+        parts = [part for part in path.split("?")[0].split("/") if part]
+        if parts == ["healthz"]:
+            return "healthz", None
+        if parts == ["metrics"]:
+            return "metrics", None
+        if parts == ["v1", "stats"]:
+            return "stats", None
+        if parts == ["v1", "scan"]:
+            return "scan", None
+        if len(parts) == 4 and parts[:2] == ["v1", "tenants"] and parts[
+            3
+        ] in ("profiles", "suspects", "reports"):
+            return f"tenant_{parts[3]}", parts[2]
+        return "unknown", None
 
     def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        started = _monotonic()
+        endpoint, tenant = self._endpoint_label(handler.path)
         try:
             status, payload = self._route(handler, method)
         except _ApiError as err:
             if err.status in (400, 401, 413, 429):
-                self._bump("uploads_rejected")
+                self._m_rejections.labels(str(err.status)).inc()
+                if endpoint == "tenant_profiles" and method == "POST":
+                    self._m_uploads.labels("rejected").inc()
             status, payload = err.status, {"error": err.reason}
         except Exception as err:  # pragma: no cover - last-resort guard
             status, payload = 500, {"error": f"internal: {err}"}
-        body = json.dumps(payload, default=str).encode()
+        if isinstance(payload, _TextResponse):
+            body = payload.body.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload, default=str).encode()
+            content_type = "application/json"
+        elapsed = _monotonic() - started
+        self._m_requests.labels(method, endpoint, str(status)).inc()
+        self._m_request_seconds.labels(endpoint).observe(elapsed)
+        self._log_request(method, endpoint, status, tenant, elapsed)
         handler.send_response(status)
-        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Type", content_type)
         handler.send_header("Content-Length", str(len(body)))
         handler.end_headers()
         handler.wfile.write(body)
+
+    def _log_request(
+        self,
+        method: str,
+        endpoint: str,
+        status: int,
+        tenant: Optional[str],
+        elapsed: float,
+    ) -> None:
+        """One structured line per request.  Verbose servers log
+        everything (4xx/5xx at WARNING); quiet servers still surface
+        auth failures and rate-limit hits (401/429)."""
+        if self.quiet and status not in (401, 429):
+            return
+        level = logging.WARNING if status >= 400 else logging.INFO
+        logger.log(
+            level,
+            "%s %s status=%d tenant=%s latency_ms=%.2f",
+            method,
+            endpoint,
+            status,
+            tenant or "-",
+            elapsed * 1000.0,
+        )
 
     def _route(
         self, handler: BaseHTTPRequestHandler, method: str
     ) -> Tuple[int, Dict]:
         parts = [part for part in handler.path.split("?")[0].split("/") if part]
         if parts == ["healthz"] and method == "GET":
-            return 200, {"status": "ok"}
+            return 200, {
+                "status": "ok",
+                "uptime_seconds": round(_monotonic() - self._started, 3),
+            }
+        if parts == ["metrics"] and method == "GET":
+            return 200, self._handle_metrics()
         if parts == ["v1", "stats"] and method == "GET":
             return 200, self._handle_stats()
         if parts == ["v1", "scan"] and method == "POST":
@@ -258,6 +398,7 @@ class IngestServer:
         now = self.clock()
         service = handler.headers.get("X-Service") or tenant.name
         instance = handler.headers.get("X-Instance")
+        parse_started = _monotonic()
         try:
             profile, dialect = parse_profile(
                 text,
@@ -269,6 +410,8 @@ class IngestServer:
             )
         except ValueError as err:
             raise _ApiError(400, f"unparseable profile: {err}")
+        finally:
+            self._m_parse_seconds.observe(_monotonic() - parse_started)
         profile_id = self.store.store_profile(
             tenant.name,
             body=text,
@@ -278,7 +421,8 @@ class IngestServer:
             instance=profile.instance,
             received_at=now,
         )
-        self._bump("uploads_accepted")
+        self._m_uploads.labels("accepted").inc()
+        self._m_upload_bytes.observe(float(len(raw)))
         return {
             "profile_id": profile_id,
             "dialect": dialect,
@@ -350,7 +494,7 @@ class IngestServer:
 
     def _handle_scan(self) -> Dict:
         results = self.scheduler.run_once(now=self.clock())
-        self._bump("scans_run")
+        self._m_scans.inc()
         return {
             "tenants": {
                 name: result.summary() for name, result in results.items()
@@ -358,14 +502,28 @@ class IngestServer:
         }
 
     def _handle_stats(self) -> Dict:
-        with self._stats_lock:
-            stats = dict(self.stats)
+        stats = dict(self.stats)
         stats.update(
             tenants=len(self.store.tenants()),
             profiles_archived=self.store.profile_count(),
             reports_filed=self.store.report_count(),
         )
         return stats
+
+    def _handle_metrics(self) -> _TextResponse:
+        """The Prometheus scrape: this server's private registry merged
+        with the process-wide pipeline registry (private wins on name
+        collisions).  Archive gauges are refreshed at scrape time."""
+        census = self.registry.gauge(
+            "repro_ingest_archive",
+            "Archive census at scrape time, by kind",
+            ("kind",),
+        )
+        census.labels("tenants").set(len(self.store.tenants()))
+        census.labels("profiles_archived").set(self.store.profile_count())
+        census.labels("reports_filed").set(self.store.report_count())
+        text = render_prometheus(self.registry, obs.default_registry())
+        return _TextResponse(text, _PROM_CONTENT_TYPE)
 
 
 def _diagnoses_summary(diagnoses: Dict[str, object]) -> List[Dict]:

@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.leakprof import LeakProf, LeakReport, OwnershipRouter, Suspect
 from repro.leakprof.impact import LeakCandidate
+from repro.obs.registry import monotonic as _monotonic
 
 from .store import IngestStore, PersistentBugDatabase, Tenant
 
@@ -78,24 +80,57 @@ class MultiTenantScheduler:
     def run_tenant(
         self, tenant: Tenant, now: float = 0.0
     ) -> TenantRunResult:
-        """One daily run for one tenant."""
-        stored = self.store.profiles_for(tenant.name)
-        profiles = [item.parse() for item in stored]
-        leakprof = LeakProf(
-            threshold=tenant.threshold,
-            top_n=tenant.top_n,
-            router=self.router,
-            bug_db=self.bug_db(tenant.name),
-            remediator=self.remediator,
-        )
-        result = leakprof.analyze_profiles(profiles, now=now)
-        diagnoses: Dict[str, object] = {}
-        diagnose = self._resolve_diagnose()
-        if diagnose is not None:
-            for suspect in result.suspects:
-                diagnosis = diagnose(suspect)
-                if diagnosis is not None:
-                    diagnoses["|".join(suspect.key)] = diagnosis
+        """One daily run for one tenant.
+
+        Traced as an ``ingest.run_tenant`` root span: the archive sweep
+        (``ingest.sweep``), the nested ``leakprof.detect`` tree, and the
+        ``remedy.diagnose`` pass all land as its children.
+        """
+        reg = obs.default_registry()
+        tracer = obs.default_tracer()
+        run_started = _monotonic()
+        with tracer.span("ingest.run_tenant", tenant=tenant.name) as root:
+            with tracer.span("ingest.sweep", tenant=tenant.name) as sw:
+                stored = self.store.profiles_for(tenant.name)
+                profiles = [item.parse() for item in stored]
+                sw.attributes.update(profiles=len(profiles))
+            leakprof = LeakProf(
+                threshold=tenant.threshold,
+                top_n=tenant.top_n,
+                router=self.router,
+                bug_db=self.bug_db(tenant.name),
+                remediator=self.remediator,
+            )
+            result = leakprof.analyze_profiles(profiles, now=now)
+            diagnoses: Dict[str, object] = {}
+            diagnose = self._resolve_diagnose()
+            if diagnose is not None:
+                with tracer.span(
+                    "remedy.diagnose", tenant=tenant.name
+                ) as diag:
+                    for suspect in result.suspects:
+                        diagnosis = diagnose(suspect)
+                        if diagnosis is not None:
+                            diagnoses["|".join(suspect.key)] = diagnosis
+                    diag.attributes.update(
+                        suspects=len(result.suspects),
+                        diagnosed=len(diagnoses),
+                    )
+            root.attributes.update(
+                profiles=len(profiles),
+                new_reports=len(result.new_reports),
+            )
+        if reg.enabled:
+            reg.histogram(
+                "repro_ingest_scan_seconds",
+                "Wall-clock duration of one tenant daily run",
+                ("tenant",),
+            ).labels(tenant.name).observe(_monotonic() - run_started)
+            reg.counter(
+                "repro_ingest_tenant_runs_total",
+                "Per-tenant LeakProf daily runs",
+                ("tenant",),
+            ).labels(tenant.name).inc()
         return TenantRunResult(
             tenant=tenant.name,
             profiles_scanned=len(profiles),

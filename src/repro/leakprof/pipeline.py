@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from repro import obs
+from repro.obs.registry import monotonic as _monotonic
 from repro.profiling import GoroutineProfile
 
 from .collector import Profilable, SweepStats, sweep
@@ -70,29 +72,61 @@ class LeakProf:
         now: float = 0.0,
         memory_footprints=None,
     ) -> DailyRunResult:
-        """Run detection over already-collected profiles."""
-        suspects = scan_fleet(
-            profiles,
-            threshold=self.threshold,
-            apply_transient_filter=self.apply_transient_filter,
-        )
-        candidates = rank_by_impact(suspects, top_n=self.top_n)
-        new_reports: List[LeakReport] = []
-        duplicates: List[LeakCandidate] = []
-        for candidate in candidates:
-            footprint = None
-            if memory_footprints is not None:
-                footprint = memory_footprints.get(candidate.service)
-            report = self.bug_db.file(
-                candidate,
-                owner=self.router.route(candidate.location),
-                filed_at=now,
-                memory_footprint=footprint,
+        """Run detection over already-collected profiles.
+
+        Instrumented per phase (scan → rank → file) into the shared
+        :mod:`repro.obs` registry, and traced as a ``leakprof.detect``
+        span whose children are those phases.
+        """
+        reg = obs.default_registry()
+        tracer = obs.default_tracer()
+        with tracer.span("leakprof.detect", profiles=len(profiles)) as det:
+            phase_started = _monotonic()
+            with tracer.span("leakprof.scan"):
+                suspects = scan_fleet(
+                    profiles,
+                    threshold=self.threshold,
+                    apply_transient_filter=self.apply_transient_filter,
+                )
+            self._observe_phase(reg, "scan", phase_started)
+            phase_started = _monotonic()
+            with tracer.span("leakprof.rank"):
+                candidates = rank_by_impact(suspects, top_n=self.top_n)
+            self._observe_phase(reg, "rank", phase_started)
+            phase_started = _monotonic()
+            new_reports: List[LeakReport] = []
+            duplicates: List[LeakCandidate] = []
+            with tracer.span("leakprof.file"):
+                for candidate in candidates:
+                    footprint = None
+                    if memory_footprints is not None:
+                        footprint = memory_footprints.get(candidate.service)
+                    report = self.bug_db.file(
+                        candidate,
+                        owner=self.router.route(candidate.location),
+                        filed_at=now,
+                        memory_footprint=footprint,
+                    )
+                    if report is None:
+                        duplicates.append(candidate)
+                    else:
+                        new_reports.append(report)
+            self._observe_phase(reg, "file", phase_started)
+            det.attributes.update(
+                suspects=len(suspects), new_reports=len(new_reports)
             )
-            if report is None:
-                duplicates.append(candidate)
-            else:
-                new_reports.append(report)
+            if reg.enabled:
+                reg.counter(
+                    "repro_leakprof_runs_total", "LeakProf detection runs"
+                ).inc()
+                results = reg.counter(
+                    "repro_leakprof_results_total",
+                    "Detection outcomes per run, by kind",
+                    ("kind",),
+                )
+                results.labels("suspect").inc(len(suspects))
+                results.labels("new_report").inc(len(new_reports))
+                results.labels("duplicate").inc(len(duplicates))
         remediations: List[object] = []
         if self.remediator is not None:
             pending = list(new_reports)
@@ -118,6 +152,16 @@ class LeakProf:
             remediations=remediations,
         )
 
+    @staticmethod
+    def _observe_phase(reg, phase: str, started: float) -> None:
+        if not reg.enabled:
+            return
+        reg.histogram(
+            "repro_leakprof_phase_seconds",
+            "Wall-clock duration of one LeakProf pipeline phase",
+            ("phase",),
+        ).labels(phase).observe(_monotonic() - started)
+
     def daily_run(
         self,
         instances: Iterable[Profilable],
@@ -125,10 +169,36 @@ class LeakProf:
         via_text: bool = True,
         memory_footprints=None,
     ) -> DailyRunResult:
-        """Sweep the fleet then analyze (the full Fig 3 loop)."""
-        profiles, stats = sweep(instances, via_text=via_text)
-        result = self.analyze_profiles(
-            profiles, now=now, memory_footprints=memory_footprints
-        )
-        result.sweep_stats = stats
+        """Sweep the fleet then analyze (the full Fig 3 loop).
+
+        Traced as a ``leakprof.daily_run`` root span: the collection
+        sweep and the nested detect phases land as its children.
+        """
+        reg = obs.default_registry()
+        with obs.default_tracer().span("leakprof.daily_run") as root:
+            phase_started = _monotonic()
+            with obs.default_tracer().span("leakprof.sweep") as sw:
+                profiles, stats = sweep(instances, via_text=via_text)
+                sw.attributes.update(
+                    instances=stats.instances_swept,
+                    goroutines=stats.goroutines_seen,
+                )
+            self._observe_phase(reg, "sweep", phase_started)
+            if reg.enabled:
+                reg.counter(
+                    "repro_leakprof_swept_instances_total",
+                    "Instances profiled by collection sweeps",
+                ).inc(stats.instances_swept)
+                reg.counter(
+                    "repro_leakprof_swept_bytes_total",
+                    "Profile bytes transferred by collection sweeps",
+                ).inc(stats.bytes_transferred)
+            result = self.analyze_profiles(
+                profiles, now=now, memory_footprints=memory_footprints
+            )
+            result.sweep_stats = stats
+            root.attributes.update(
+                instances=stats.instances_swept,
+                new_reports=len(result.new_reports),
+            )
         return result

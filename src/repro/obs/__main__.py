@@ -1,0 +1,127 @@
+"""CLI: pretty-print a live daemon's metrics.
+
+Usage::
+
+    # scrape and pretty-print a running ingest daemon
+    python -m repro.obs --url http://127.0.0.1:8641
+
+    # raw JSON of the parsed families (for jq and friends)
+    python -m repro.obs --url http://127.0.0.1:8641 --json
+
+    # parse an already-saved exposition file instead of scraping
+    python -m repro.obs --file metrics.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+from urllib import request
+
+from .parse import ParsedFamily, parse_prometheus_text
+
+
+def _fetch(url: str, timeout: float) -> str:
+    target = url.rstrip("/") + "/metrics"
+    with request.urlopen(target, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _print_families(families: Dict[str, ParsedFamily]) -> None:
+    for name in sorted(families):
+        family = families[name]
+        head = f"{name} ({family.type})"
+        if family.help:
+            head += f" — {family.help}"
+        print(head)
+        if family.type == "histogram":
+            by_base: Dict[str, Dict[str, float]] = {}
+            for sample in family.samples:
+                labels = {k: v for k, v in sample.labels.items() if k != "le"}
+                bucket = by_base.setdefault(_format_labels(labels), {})
+                if sample.name.endswith("_sum"):
+                    bucket["sum"] = sample.value
+                elif sample.name.endswith("_count"):
+                    bucket["count"] = sample.value
+            for label_blob, agg in sorted(by_base.items()):
+                count = agg.get("count", 0.0)
+                mean = agg.get("sum", 0.0) / count * 1000.0 if count else 0.0
+                print(
+                    f"  {label_blob or '(no labels)'}  "
+                    f"count={count:g} mean={mean:.2f}ms"
+                )
+        else:
+            for sample in family.samples:
+                print(
+                    f"  {_format_labels(sample.labels) or '(no labels)'}  "
+                    f"{sample.value:g}"
+                )
+        print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="scrape and pretty-print a live daemon's /metrics",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--url", help="daemon base URL (e.g. http://127.0.0.1:8641)"
+    )
+    source.add_argument(
+        "--file", help="read an exposition-format file instead of scraping"
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the parsed families as JSON",
+    )
+    parser.add_argument("--timeout", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    if args.url:
+        try:
+            text = _fetch(args.url, args.timeout)
+        except OSError as err:
+            print(f"scrape failed: {err}", file=sys.stderr)
+            return 1
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+    families = parse_prometheus_text(text)
+    if args.as_json:
+        print(json.dumps(
+            {
+                name: {
+                    "type": family.type,
+                    "help": family.help,
+                    "samples": [
+                        {
+                            "name": s.name,
+                            "labels": s.labels,
+                            "value": s.value,
+                        }
+                        for s in family.samples
+                    ],
+                }
+                for name, family in sorted(families.items())
+            },
+            indent=2,
+        ))
+    else:
+        print(f"{len(families)} metric families\n")
+        _print_families(families)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Prometheus text-format parser (exposition format 0.0.4).
+
+The inverse of :func:`repro.obs.registry.render_prometheus`, used three
+ways: the scrape-then-reparse round-trip tests, the ``python -m
+repro.obs`` CLI pretty-printer, and the CI ingest-smoke gate that
+asserts required series exist on a live daemon.  Handles HELP/TYPE
+metadata, label escaping (``\\\\``, ``\\n``, ``\\"``), and histogram
+sample suffixes (``_bucket``/``_sum``/``_count`` fold into their
+family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+@dataclass
+class ParsedSample:
+    """One exposition line: a sample name, its labels, and the value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+    @property
+    def key(self) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        return (self.name, tuple(sorted(self.labels.items())))
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family: metadata plus every sample that belongs to it."""
+
+    name: str
+    type: str = "untyped"
+    help: str = ""
+    samples: List[ParsedSample] = field(default_factory=list)
+
+    def values(self) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+        """Sample-key -> value map (what the round-trip tests compare)."""
+        return {sample.key: sample.value for sample in self.samples}
+
+
+class PromParseError(ValueError):
+    """A line the exposition format does not allow."""
+
+
+def _unescape(text: str, in_label: bool) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if in_label and nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labels(blob: str, line: str) -> Dict[str, str]:
+    """Parse the inside of ``{...}`` with escape-aware quote scanning."""
+    labels: Dict[str, str] = {}
+    i = 0
+    n = len(blob)
+    while i < n:
+        while i < n and blob[i] in ", ":
+            i += 1
+        if i >= n:
+            break
+        eq = blob.find("=", i)
+        if eq < 0:
+            raise PromParseError(f"bad label pair in: {line}")
+        name = blob[i:eq].strip()
+        i = eq + 1
+        if i >= n or blob[i] != '"':
+            raise PromParseError(f"unquoted label value in: {line}")
+        i += 1
+        raw: List[str] = []
+        while i < n:
+            ch = blob[i]
+            if ch == "\\" and i + 1 < n:
+                raw.append(blob[i:i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            i += 1
+        if i >= n:
+            raise PromParseError(f"unterminated label value in: {line}")
+        i += 1  # past the closing quote
+        labels[name] = _unescape("".join(raw), in_label=True)
+    return labels
+
+
+def _parse_value(token: str, line: str) -> float:
+    token = token.strip()
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    try:
+        return float(token)
+    except ValueError:
+        raise PromParseError(f"bad sample value in: {line}") from None
+
+
+def _family_for(
+    families: Dict[str, ParsedFamily], sample_name: str
+) -> ParsedFamily:
+    """Resolve a sample to its family, folding histogram suffixes."""
+    family = families.get(sample_name)
+    if family is not None:
+        return family
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = families.get(sample_name[: -len(suffix)])
+            if base is not None and base.type == "histogram":
+                return base
+    return families.setdefault(sample_name, ParsedFamily(name=sample_name))
+
+
+def parse_prometheus_text(text: str) -> Dict[str, ParsedFamily]:
+    """Parse an exposition body into families keyed by metric name."""
+    families: Dict[str, ParsedFamily] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                family = families.setdefault(
+                    parts[2], ParsedFamily(name=parts[2])
+                )
+                family.type = parts[3].strip() if len(parts) > 3 else "untyped"
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                family = families.setdefault(
+                    parts[2], ParsedFamily(name=parts[2])
+                )
+                family.help = _unescape(
+                    parts[3] if len(parts) > 3 else "", in_label=False
+                )
+            continue  # other comments are ignored
+        if "{" in line:
+            open_brace = line.index("{")
+            close_brace = line.rfind("}")
+            if close_brace < open_brace:
+                raise PromParseError(f"mismatched braces in: {line}")
+            name = line[:open_brace].strip()
+            labels = _parse_labels(line[open_brace + 1:close_brace], line)
+            rest = line[close_brace + 1:]
+        else:
+            pieces = line.split(None, 1)
+            if len(pieces) != 2:
+                raise PromParseError(f"bad sample line: {line}")
+            name, rest = pieces
+            labels = {}
+        tokens = rest.split()
+        if not tokens:
+            raise PromParseError(f"missing sample value: {line}")
+        value = _parse_value(tokens[0], line)  # optional timestamp ignored
+        _family_for(families, name).samples.append(
+            ParsedSample(name=name, labels=labels, value=value)
+        )
+    return families
+
+
+def sample_value(
+    families: Dict[str, ParsedFamily],
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+) -> Optional[float]:
+    """Look up one sample's value (None when absent) — CI-gate helper."""
+    family = families.get(name)
+    if family is None:
+        for candidate in families.values():
+            for sample in candidate.samples:
+                if sample.name == name:
+                    family = candidate
+                    break
+            if family is not None:
+                break
+    if family is None:
+        return None
+    wanted = labels or {}
+    for sample in family.samples:
+        if sample.name == name and all(
+            sample.labels.get(k) == v for k, v in wanted.items()
+        ):
+            return sample.value
+    return None
+
+
+__all__ = [
+    "ParsedFamily",
+    "ParsedSample",
+    "PromParseError",
+    "parse_prometheus_text",
+    "sample_value",
+]

@@ -1,0 +1,173 @@
+"""Structured pipeline tracing: nested spans over the monotonic clock.
+
+One :class:`Span` is one timed phase of the detection pipeline (a sweep,
+a threshold scan, a diagnosis pass); spans nest via a per-thread stack so
+a traced ``LeakProf.daily_run`` comes out as a tree — ingest → sweep →
+detect → diagnose — that tests can assert on and operators can dump as
+JSON.  Finished *root* spans land in a bounded ring buffer (old traces
+fall off; a long-lived daemon never grows without bound), which is the
+in-memory exporter: ``tracer.roots()`` / ``tracer.find(name)`` /
+``tracer.to_json()``.
+
+Tracing follows the same featherlight discipline as the metrics
+registry: spans wrap pipeline *phases*, never per-step interpreter work,
+and a disabled tracer hands out throwaway spans that are never linked or
+retained.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional
+
+from .registry import monotonic
+
+
+class Span:
+    """One timed, attributed phase; children are the phases it contained."""
+
+    __slots__ = ("name", "attributes", "start", "end", "children")
+
+    def __init__(self, name: str, attributes: Optional[Dict] = None):
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.start = monotonic()
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Elapsed seconds, or None while the span is still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def finish(self) -> None:
+        if self.end is None:
+            self.end = monotonic()
+
+    def find(self, name: str) -> List["Span"]:
+        """This span and every descendant named ``name`` (pre-order)."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def to_dict(self) -> Dict:
+        """JSON-able form (durations in seconds, children nested)."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Human tree: one line per span, children indented."""
+        duration = (
+            f"{self.duration * 1000:.2f}ms" if self.end is not None else "open"
+        )
+        attrs = ""
+        if self.attributes:
+            attrs = " " + " ".join(
+                f"{k}={v}" for k, v in sorted(self.attributes.items())
+            )
+        lines = [f"{'  ' * indent}{self.name} [{duration}]{attrs}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Span {self.name!r} children={len(self.children)}>"
+
+
+class Tracer:
+    """Span factory + in-memory ring-buffer exporter.
+
+    The span stack is thread-local (each daemon handler thread traces its
+    own request); the finished-roots ring is shared and lock-guarded.
+    """
+
+    def __init__(self, ring: int = 256, enabled: bool = True):
+        self.enabled = enabled
+        self._ring: Deque[Span] = deque(maxlen=ring)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a child of the current span (or a new root) for the block.
+
+        An exception inside the block stamps an ``error`` attribute on
+        the span and propagates.  Disabled tracers yield a throwaway
+        span: attribute writes still work, nothing is linked or kept.
+        """
+        node = Span(name, attributes)
+        if not self.enabled:
+            try:
+                yield node
+            finally:
+                node.finish()
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent.children.append(node)
+        stack.append(node)
+        try:
+            yield node
+        except BaseException as exc:
+            node.attributes.setdefault("error", repr(exc))
+            raise
+        finally:
+            node.finish()
+            stack.pop()
+            if parent is None:
+                with self._lock:
+                    self._ring.append(node)
+
+    # -- the in-memory exporter ---------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first (bounded by the ring size)."""
+        with self._lock:
+            return list(self._ring)
+
+    def find(self, name: str) -> List[Span]:
+        """Every span named ``name`` across all retained traces."""
+        found: List[Span] = []
+        for root in self.roots():
+            found.extend(root.find(name))
+        return found
+
+    def last(self) -> Optional[Span]:
+        """The most recently finished root span."""
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Every retained trace as a JSON array of span trees."""
+        return json.dumps(
+            [root.to_dict() for root in self.roots()], indent=indent
+        )
+
+
+__all__ = ["Span", "Tracer"]

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.fleet import Service, WINDOW_SECONDS
 from repro.fleet.workload import RequestMix
 
@@ -135,13 +136,56 @@ class StagedRollout:
             peak_rss_before=service.peak_rss(),
             peak_instance_rss_before=service.peak_instance_rss(),
         )
-        updated: List[int] = []
-        for stage in self.stages:
+        with obs.default_tracer().span(
+            "remedy.rollout", service=service.config.name
+        ) as root:
+            updated: List[int] = []
+            for stage in self.stages:
+                report = self._run_stage(
+                    service, fixed_mix, stage, updated, result
+                )
+                self._record_stage(stage.name, report.healthy)
+                if not report.healthy:
+                    # Bad canary: roll updated instances back to old code.
+                    service.partial_deploy(old_mix, indices=updated)
+                    result.aborted_stage = stage.name
+                    root.attributes.update(outcome="aborted", stage=stage.name)
+                    self._record_rollout("aborted")
+                    return result
+            for _ in range(self.drain_windows):
+                service.advance_window(self.window)
+            result.completed = True
+            result.post_rss = (
+                service.history[-1].total_rss_bytes if service.history else 0
+            )
+            result.post_instance_rss = max(
+                instance.rss() for instance in service.instances
+            )
+            root.attributes.update(
+                outcome="completed", recovery=round(result.rss_recovery, 4)
+            )
+            self._record_rollout("completed")
+        return result
+
+    def _run_stage(
+        self,
+        service: Service,
+        fixed_mix: RequestMix,
+        stage: RolloutStage,
+        updated: List[int],
+        result: RolloutResult,
+    ) -> StageReport:
+        """One ramp step (traced as a ``remedy.stage`` child span)."""
+        with obs.default_tracer().span(
+            "remedy.stage", stage=stage.name
+        ) as span:
             target = min(
                 len(service.instances),
                 max(1, math.ceil(stage.fraction * len(service.instances))),
             )
-            newly = service.partial_deploy(fixed_mix, count=target - len(updated))
+            newly = service.partial_deploy(
+                fixed_mix, count=target - len(updated)
+            )
             updated.extend(newly)
             blocked_before = self._blocked(service, updated)
             for _ in range(self.windows_per_stage):
@@ -157,32 +201,40 @@ class StagedRollout:
             healthy = blocked_growth <= self.blocked_growth_tolerance and (
                 mean_legacy is None or mean_updated <= mean_legacy
             )
-            result.stages.append(
-                StageReport(
-                    stage=stage.name,
-                    target_instances=target,
-                    newly_deployed=len(newly),
-                    blocked_growth_updated=blocked_growth,
-                    mean_rss_updated=mean_updated,
-                    mean_rss_legacy=mean_legacy,
-                    healthy=healthy,
-                )
+            report = StageReport(
+                stage=stage.name,
+                target_instances=target,
+                newly_deployed=len(newly),
+                blocked_growth_updated=blocked_growth,
+                mean_rss_updated=mean_updated,
+                mean_rss_legacy=mean_legacy,
+                healthy=healthy,
             )
-            if not healthy:
-                # Bad canary: roll the updated instances back to old code.
-                service.partial_deploy(old_mix, indices=updated)
-                result.aborted_stage = stage.name
-                return result
-        for _ in range(self.drain_windows):
-            service.advance_window(self.window)
-        result.completed = True
-        result.post_rss = (
-            service.history[-1].total_rss_bytes if service.history else 0
-        )
-        result.post_instance_rss = max(
-            instance.rss() for instance in service.instances
-        )
-        return result
+            result.stages.append(report)
+            span.attributes.update(
+                target=target, healthy=healthy, blocked_growth=blocked_growth
+            )
+        return report
+
+    @staticmethod
+    def _record_stage(stage: str, healthy: bool) -> None:
+        reg = obs.default_registry()
+        if reg.enabled:
+            reg.counter(
+                "repro_remedy_rollout_stages_total",
+                "Rollout stage transitions, by stage and gate outcome",
+                ("stage", "outcome"),
+            ).labels(stage, "ok" if healthy else "abort").inc()
+
+    @staticmethod
+    def _record_rollout(outcome: str) -> None:
+        reg = obs.default_registry()
+        if reg.enabled:
+            reg.counter(
+                "repro_remedy_rollouts_total",
+                "Staged rollouts executed, by outcome",
+                ("outcome",),
+            ).labels(outcome).inc()
 
     @staticmethod
     def _blocked(service: Service, indices: List[int]) -> int:

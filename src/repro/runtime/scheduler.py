@@ -33,6 +33,9 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import random
 
+from repro import obs
+from repro.obs.registry import monotonic as _monotonic
+
 from .channel import Channel, NIL_CHANNEL, Payload, Waiter
 from .errors import GlobalDeadlock, LeakReclaimed, Panic, SchedulerExhausted
 from .goroutine import (
@@ -565,18 +568,45 @@ class Runtime:
         with unstoppable tickers, which otherwise never quiesce.  With
         ``detect_global_deadlock`` the runtime mimics Go's fatal
         ``all goroutines are asleep`` check.
+
+        Instrumentation rides at *run* granularity, never per step: one
+        timing observation and one counter delta per call keeps the
+        interpreter hot loop untouched (the bench_obs_overhead gate).
         """
         self._steps_base = self.steps
-        limit = self.steps + max_steps
-        step = self._step
-        run_queue = self._run_queue
-        while True:
-            while run_queue:
-                if self.steps >= limit:
-                    raise SchedulerExhausted(self.steps)
-                step()
-            if not self._advance_clock(deadline):
-                break
+        reg = obs.default_registry()
+        recording = reg.enabled
+        if recording:
+            started = _monotonic()
+            reg.gauge(
+                "repro_sched_run_queue_depth",
+                "Runnable goroutines queued when the last run started",
+            ).set(len(self._run_queue))
+        try:
+            limit = self.steps + max_steps
+            step = self._step
+            run_queue = self._run_queue
+            while True:
+                while run_queue:
+                    if self.steps >= limit:
+                        raise SchedulerExhausted(self.steps)
+                    step()
+                if not self._advance_clock(deadline):
+                    break
+        finally:
+            if recording:
+                reg.counter(
+                    "repro_sched_runs_total",
+                    "run_until_quiescent calls (requests, windows, drains)",
+                ).inc()
+                reg.counter(
+                    "repro_sched_steps_total",
+                    "Scheduler steps interpreted across all runtimes",
+                ).inc(self.steps - self._steps_base)
+                reg.histogram(
+                    "repro_sched_run_seconds",
+                    "Wall-clock duration of one run_until_quiescent call",
+                ).observe(_monotonic() - started)
         if (
             detect_global_deadlock
             and self.main is not None

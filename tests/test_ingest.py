@@ -232,7 +232,9 @@ class TestDaemon:
     def test_health_and_stats(self, served):
         server, _ = served
         client = IngestClient(server.url, "acme", "tok-a")
-        assert client.healthz() == {"status": "ok"}
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0.0
         stats = client.stats()
         assert stats["tenants"] == 2
         assert stats["uploads_accepted"] == 0
