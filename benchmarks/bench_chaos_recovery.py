@@ -1,0 +1,137 @@
+"""Chaos recovery cost: what a mid-week worker crash adds to a run.
+
+Supervision (journal-replay respawn in :mod:`repro.fleet.shard`) buys
+crash-invisible results; this bench prices that purchase.  The same
+sharded week runs twice at identical seeds — fault-free, then with one
+``KILL_WORKER`` pinned mid-run — and records the wall-clock overhead of
+the respawn + journal replay in ``BENCH_chaos_recovery.json``.
+
+Gates:
+
+* **parity** — the faulted run's ``ServiceSample`` histories must be
+  byte-identical to the fault-free run (a cheap rerun of the invariant
+  the chaos suite owns; an overhead number for a wrong answer would be
+  meaningless);
+* **bounded overhead** — recovery must cost at most
+  ``CHAOS_RECOVERY_MAX_OVERHEAD`` × the fault-free run (default 3.0×:
+  replay re-advances one shard's share of every window seen so far, so
+  the bound is a full re-run of one shard plus respawn cost, with slack
+  for CI-grade machines).
+
+CI runs a reduced size via the ``CHAOS_RECOVERY_*`` environment knobs;
+the committed JSON is from a full run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.chaos import FaultKind, FaultSchedule, ShardChaos
+from repro.fleet import RequestMix, ServiceConfig, ShardedFleet, TrafficShape
+from repro.patterns import healthy, timeout_leak
+
+from _emit import emit
+from conftest import print_table
+
+SEED = 23
+WINDOW = 43_200.0  # 12h windows
+
+INSTANCES = int(os.environ.get("CHAOS_RECOVERY_INSTANCES", "400"))
+WINDOWS = int(os.environ.get("CHAOS_RECOVERY_WINDOWS", "14"))
+SHARDS = int(os.environ.get("CHAOS_RECOVERY_SHARDS", "4"))
+MAX_OVERHEAD = float(os.environ.get("CHAOS_RECOVERY_MAX_OVERHEAD", "3.0"))
+
+#: The kill lands on shard 1 while its mid-run ``advance`` is in
+#: flight: ops 0..N are init + one advance per window, so WINDOWS // 2
+#: is squarely mid-week — the worst half of the journal already written.
+KILL_AT_OP = WINDOWS // 2
+
+
+def _configs():
+    leaky = RequestMix().add(
+        "checkout", timeout_leak.leaky, weight=1.0, payload_bytes=16 * 1024
+    )
+    clean = RequestMix().add("ping", healthy.request_response, weight=1.0)
+    per_service = max(1, INSTANCES // 2)
+    return [
+        ServiceConfig(
+            name="payments",
+            mix=leaky,
+            instances=per_service,
+            traffic=TrafficShape(requests_per_window=8),
+        ),
+        ServiceConfig(
+            name="search",
+            mix=clean,
+            instances=INSTANCES - per_service,
+            traffic=TrafficShape(requests_per_window=8),
+        ),
+    ]
+
+
+def _run_week(chaos=None):
+    fleet = ShardedFleet(
+        shards=SHARDS, chaos=chaos, worker_deadline=30.0, max_respawns=4
+    )
+    for offset, config in enumerate(_configs()):
+        fleet.add_service(config, seed=SEED + offset)
+    started = time.perf_counter()
+    fleet.start()
+    try:
+        for _ in range(WINDOWS):
+            fleet.advance_window(WINDOW)
+        elapsed = time.perf_counter() - started
+        histories = {n: list(s.history) for n, s in fleet.services.items()}
+        return elapsed, histories, fleet.worker_restarts
+    finally:
+        fleet.close()
+
+
+def test_crash_recovery_overhead_bounded():
+    baseline_s, baseline_hist, baseline_restarts = _run_week()
+    assert baseline_restarts == 0
+
+    schedule = FaultSchedule(seed=SEED).pin(FaultKind.KILL_WORKER, 1, KILL_AT_OP)
+    faulted_s, faulted_hist, restarts = _run_week(chaos=ShardChaos(schedule))
+
+    assert restarts == 1, "the pinned kill must have triggered one respawn"
+    assert faulted_hist == baseline_hist, (
+        "recovery changed results; the overhead number would be meaningless"
+    )
+    overhead = faulted_s / baseline_s
+    recovery_s = max(0.0, faulted_s - baseline_s)
+
+    print_table(
+        "chaos recovery: mid-week worker kill "
+        f"({INSTANCES} instances, {SHARDS} shards, {WINDOWS} windows)",
+        ("run", "wall-clock"),
+        [
+            ("fault-free week", f"{baseline_s:.2f}s"),
+            ("killed + replayed week", f"{faulted_s:.2f}s"),
+            ("recovery cost", f"{recovery_s:.2f}s"),
+            ("overhead", f"{overhead:.2f}x"),
+        ],
+    )
+    emit(
+        "chaos_recovery",
+        metric="crash_recovery_overhead",
+        value=round(overhead, 3),
+        unit="x_fault_free",
+        seed=SEED,
+        instances=INSTANCES,
+        windows=WINDOWS,
+        shards=SHARDS,
+        kill_at_op=KILL_AT_OP,
+        baseline_seconds=round(baseline_s, 3),
+        faulted_seconds=round(faulted_s, 3),
+        recovery_seconds=round(recovery_s, 3),
+        worker_restarts=restarts,
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"recovery overhead {overhead:.2f}x exceeds {MAX_OVERHEAD}x"
+    )
+
+
+if __name__ == "__main__":
+    test_crash_recovery_overhead_bounded()

@@ -1,0 +1,54 @@
+"""repro.chaos — deterministic fault injection for the whole pipeline.
+
+The paper's pitch is *production* leak detection, and production means
+workers die mid-window, sqlite throws ``database is locked``, daemons
+stall and 503, and archives grow rows no parser survives.  This package
+makes those failures first-class, replayable inputs:
+
+* :mod:`~repro.chaos.schedule` — :class:`FaultSchedule`, a seeded,
+  JSON-serializable plan of faults (the chaos analogue of a fuzz seed);
+* :mod:`~repro.chaos.inject` — adapters plugging one schedule into each
+  layer's injectable hook (``ShardedFleet(chaos=)``,
+  ``IngestStore(fault_hook=)``, ``IngestServer(fault_injector=)``,
+  ``IngestClient(transport=)``) — product code never gets monkeypatched;
+* :mod:`~repro.chaos.scenarios` — canned schedules with machine-checked
+  invariants (crash-recovery history parity, poison quarantine, breaker
+  lifecycle, flaky-daemon retry), replayed by CI and by
+  ``python -m repro.chaos replay``.
+
+The recovery machinery itself lives with the code it protects:
+shard supervision in :mod:`repro.fleet.shard`, retry/breaker primitives
+in :mod:`repro.ingest.resilience`, quarantine in
+:mod:`repro.ingest.store`.
+"""
+
+from .inject import (
+    CORRUPT,
+    DROP,
+    KILL,
+    DaemonChaos,
+    ShardChaos,
+    StoreChaos,
+    TransportChaos,
+    poison_profile_text,
+)
+from .scenarios import SCENARIOS, ScenarioResult, run_scenario
+from .schedule import FaultEvent, FaultKind, FaultRecord, FaultSchedule
+
+__all__ = [
+    "CORRUPT",
+    "DROP",
+    "KILL",
+    "DaemonChaos",
+    "FaultEvent",
+    "FaultKind",
+    "FaultRecord",
+    "FaultSchedule",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ShardChaos",
+    "StoreChaos",
+    "TransportChaos",
+    "poison_profile_text",
+    "run_scenario",
+]

@@ -1,0 +1,98 @@
+"""CLI for the chaos plane.
+
+Usage::
+
+    # list the canned scenarios
+    python -m repro.chaos list
+
+    # replay the whole suite (CI's chaos-smoke gate)
+    python -m repro.chaos replay --fail-on-invariant --out chaos-artifacts
+
+    # replay one scenario under a different seed
+    python -m repro.chaos replay --scenario worker_kill --seed 3 --json
+
+A failing scenario writes its fault schedule to
+``<out>/<scenario>.schedule.json`` — the artifact CI uploads, and the
+blob a developer feeds back into :meth:`FaultSchedule.from_json` to
+reproduce the exact same faults locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from .scenarios import SCENARIOS, run_scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="replayable fault-injection scenarios",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the canned scenarios")
+
+    replay = sub.add_parser("replay", help="replay scenarios, check invariants")
+    replay.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        choices=sorted(SCENARIOS),
+        help="scenario to replay (repeatable; default: all)",
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--fail-on-invariant",
+        action="store_true",
+        help="exit 1 when any invariant fails (the CI gate)",
+    )
+    replay.add_argument(
+        "--json", action="store_true", help="emit one JSON line per scenario"
+    )
+    replay.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write failing scenarios' fault schedules here (CI artifacts)",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, scenario in SCENARIOS.items():
+            doc = (scenario.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:16s} {doc}")
+        return 0
+
+    names = args.scenario or list(SCENARIOS)
+    failures = 0
+    for name in names:
+        result = run_scenario(name, seed=args.seed)
+        if args.json:
+            print(json.dumps(result.summary()))
+        else:
+            status = "ok" if result.ok else "FAIL"
+            print(f"{name:16s} {status}", end="")
+            if not result.ok:
+                print(f"  broken: {', '.join(result.failed_invariants())}")
+            else:
+                print()
+        if not result.ok:
+            failures += 1
+            if args.out and result.schedule_json is not None:
+                out_dir = pathlib.Path(args.out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                path = out_dir / f"{name}.schedule.json"
+                path.write_text(result.schedule_json)
+                print(f"  schedule written to {path}", file=sys.stderr)
+    if failures and args.fail_on_invariant:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

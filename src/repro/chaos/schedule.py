@@ -1,0 +1,214 @@
+"""Deterministic fault schedules: the chaos plane's replayable seeds.
+
+PR 5's lesson was that adversarial inputs are only useful when a failure
+is *replayable* — a fuzz finding is a seed, not a stack trace.  The
+chaos plane holds infrastructure faults to the same bar: every injected
+fault comes from a :class:`FaultSchedule`, which is a pure function of
+``(seed, rates, pinned events)``.  Re-running a pipeline under the same
+schedule injects byte-identical faults at byte-identical points, so a
+chaos failure ships as a small JSON blob (see :meth:`FaultSchedule.to_json`)
+that CI uploads as an artifact and a developer replays locally with
+``python -m repro.chaos replay``.
+
+Two ways a fault fires:
+
+* **pinned events** — ``schedule.pin(kind, coords)`` arms exactly one
+  fault at exactly one hook coordinate (e.g. *kill shard 1 at its 4th
+  command*).  This is what the parity tests use: precision beats volume
+  when the invariant is byte-identical histories.
+* **rates** — ``rates[kind] = p`` fires the fault at any matching hook
+  with probability ``p``, derived from a per-coordinate
+  ``random.Random`` seeded by ``(seed, kind, coords)`` — **not** from a
+  shared stream, so the decision at one hook never depends on how many
+  other hooks were consulted before it.
+
+Hook coordinates are small tuples chosen by each injection site (shard
+ordinal + command ordinal, sqlite op name + call ordinal, endpoint +
+request ordinal).  They are deterministic in a deterministic pipeline,
+which is what makes rate-based faults replayable too.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+
+
+class FaultKind(str, Enum):
+    """Every fault the chaos plane knows how to inject."""
+
+    #: SIGKILL a shard worker process (mid-window: no goodbye).
+    KILL_WORKER = "kill_worker"
+    #: Swallow one parent->worker pipe message (worker never sees it).
+    DROP_MESSAGE = "drop_message"
+    #: Replace one pipe message with garbage the worker cannot parse.
+    CORRUPT_MESSAGE = "corrupt_message"
+    #: Raise ``sqlite3.OperationalError`` from an :class:`IngestStore` op.
+    SQLITE_ERROR = "sqlite_error"
+    #: Stall one daemon request for ``param`` seconds before answering.
+    DAEMON_STALL = "daemon_stall"
+    #: Answer one daemon request with HTTP 503.
+    DAEMON_5XX = "daemon_5xx"
+    #: Feed a parser-crashing profile body into the archive.
+    POISON_PROFILE = "poison_profile"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One pinned fault: ``kind`` fires at hook coordinate ``at``."""
+
+    kind: FaultKind
+    at: Tuple
+    param: Optional[float] = None
+
+
+@dataclass
+class FaultRecord:
+    """One fault that actually fired (the schedule's flight recorder)."""
+
+    kind: FaultKind
+    at: Tuple
+    param: Optional[float] = None
+
+
+class FaultSchedule:
+    """A seeded, deterministic plan of infrastructure faults.
+
+    Consulted by the injector adapters in :mod:`repro.chaos.inject`
+    through :meth:`fires`; every positive answer is recorded in
+    :attr:`fired` so a run's actual fault trace can be asserted on and
+    serialized next to a failing invariant.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[Dict[FaultKind, float]] = None,
+        events: Optional[List[FaultEvent]] = None,
+        max_faults: Optional[int] = None,
+    ):
+        self.seed = seed
+        self.rates: Dict[FaultKind, float] = dict(rates or {})
+        self.events: List[FaultEvent] = list(events or [])
+        self.max_faults = max_faults
+        self.fired: List[FaultRecord] = []
+
+    # -- authoring -----------------------------------------------------------
+
+    def pin(
+        self, kind: FaultKind, *at, param: Optional[float] = None
+    ) -> "FaultSchedule":
+        """Arm one fault at one exact hook coordinate (chainable)."""
+        self.events.append(FaultEvent(FaultKind(kind), tuple(at), param))
+        return self
+
+    def rate(self, kind: FaultKind, probability: float) -> "FaultSchedule":
+        """Fire ``kind`` at any matching hook with ``probability``."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        self.rates[FaultKind(kind)] = probability
+        return self
+
+    # -- the decision procedure ---------------------------------------------
+
+    def fires(self, kind: FaultKind, *coords) -> Optional[FaultRecord]:
+        """Does ``kind`` fire at hook coordinate ``coords``?
+
+        Returns the :class:`FaultRecord` (already appended to
+        :attr:`fired`) when it does, ``None`` otherwise.  Pinned events
+        are consulted first and consumed on match; rates are evaluated
+        per-coordinate so the answer is independent of call order.
+        """
+        kind = FaultKind(kind)
+        if self.max_faults is not None and len(self.fired) >= self.max_faults:
+            return None
+        coords = tuple(coords)
+        for index, event in enumerate(self.events):
+            if event.kind is kind and event.at == coords:
+                del self.events[index]
+                return self._record(kind, coords, event.param)
+        probability = self.rates.get(kind, 0.0)
+        if probability > 0.0:
+            # Seeded per (schedule, kind, coordinate): replays and
+            # call-order changes cannot perturb the decision.  A string
+            # seed, because tuple seeds are deprecated in stdlib random.
+            rnd = random.Random(repr((self.seed, kind.value) + coords))
+            if rnd.random() < probability:
+                return self._record(kind, coords, None)
+        return None
+
+    def _record(
+        self, kind: FaultKind, coords: Tuple, param: Optional[float]
+    ) -> FaultRecord:
+        record = FaultRecord(kind, coords, param)
+        self.fired.append(record)
+        obs.counter(
+            "repro_chaos_faults_injected_total",
+            "Faults injected by the chaos plane, by kind",
+            ("kind",),
+        ).labels(kind.value).inc()
+        return record
+
+    def fired_count(self, kind: Optional[FaultKind] = None) -> int:
+        if kind is None:
+            return len(self.fired)
+        kind = FaultKind(kind)
+        return sum(1 for record in self.fired if record.kind is kind)
+
+    # -- serialization (CI artifacts, replay CLI) ----------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "rates": {k.value: v for k, v in self.rates.items()},
+                "events": [
+                    {
+                        "kind": e.kind.value,
+                        "at": list(e.at),
+                        "param": e.param,
+                    }
+                    for e in self.events
+                ],
+                "max_faults": self.max_faults,
+                "fired": [
+                    {
+                        "kind": r.kind.value,
+                        "at": list(r.at),
+                        "param": r.param,
+                    }
+                    for r in self.fired
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultSchedule":
+        data = json.loads(payload)
+        schedule = cls(
+            seed=data.get("seed", 0),
+            rates={
+                FaultKind(k): v for k, v in data.get("rates", {}).items()
+            },
+            events=[
+                FaultEvent(
+                    FaultKind(e["kind"]), tuple(e["at"]), e.get("param")
+                )
+                for e in data.get("events", [])
+            ],
+            max_faults=data.get("max_faults"),
+        )
+        return schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultSchedule seed={self.seed} events={len(self.events)} "
+            f"rates={ {k.value: v for k, v in self.rates.items()} } "
+            f"fired={len(self.fired)}>"
+        )

@@ -22,6 +22,28 @@ order with exactly the arithmetic ``Service.advance_window`` uses, so
 for a fixed seed the ``ServiceSample`` histories of a 1-shard, N-shard,
 and single-process run are byte-identical (tested property-style in
 ``tests/test_sharded_fleet.py``).
+
+Supervision guarantee
+---------------------
+The same purity is what makes crash recovery *provably correct*.  The
+parent keeps, per shard, a journal of every state-mutating command
+(``init``/``advance``/``restart``) since ``start()``.  Worker replies
+are collected with poll-with-deadline instead of a blocking ``recv()``,
+so a dead worker (SIGKILL'd, OOM'd, wedged) is *detected* — via
+``Process.is_alive()``, pipe EOF, or deadline expiry — never waited on
+forever.  Recovery respawns the worker and replays its journal: every
+instance is rebuilt through ``fleet.determinism.build_instance`` and
+re-advanced through the exact windows it had already seen, so the
+respawned shard's state — and therefore the fleet's ``ServiceSample``
+history — is byte-identical to a run where the worker never died.  The
+in-flight command is the journal's last entry (or is re-sent, if it was
+a read), so no window and no snapshot request is ever lost.
+
+Fault injection rides the same machinery: ``ShardedFleet(chaos=...)``
+accepts a :class:`repro.chaos.ShardChaos` adapter that can kill the
+worker, drop the message, or corrupt it at any command boundary — no
+monkeypatching, and the supervision path above is the one that heals
+every case (chaos-property-tested in ``tests/test_chaos.py``).
 """
 
 from __future__ import annotations
@@ -29,6 +51,8 @@ from __future__ import annotations
 import multiprocessing
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import obs
+from repro.obs.registry import monotonic as _monotonic
 from repro.snapshot import InstanceSnapshot, snapshot_instance
 
 from .deployment import ServiceConfig, ServiceSample
@@ -261,6 +285,21 @@ class ShardedService:
         return max((s.peak_instance_rss for s in self.history), default=0)
 
 
+class _WorkerFault(Exception):
+    """A shard worker died, wedged, or replied garbage mid-command."""
+
+    def __init__(self, shard: int, reason: str):
+        super().__init__(f"shard {shard}: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+#: Commands that mutate worker state and therefore must be journaled.
+#: ``snapshots`` is a pure read (re-sent, not replayed, after a respawn)
+#: and ``stop`` is terminal.
+_MUTATING = frozenset({"init", "advance", "restart"})
+
+
 class ShardedFleet:
     """A fleet whose instances live in N worker processes.
 
@@ -276,18 +315,44 @@ class ShardedFleet:
     deploys work any time after.  Instances are assigned round-robin
     across shards in (service add order, index) order — the assignment
     affects only wall-clock balance, never results.
+
+    Supervision knobs:
+
+    * ``worker_deadline`` — seconds the parent waits for one reply
+      before declaring the worker wedged and respawning it;
+    * ``max_respawns`` — total worker respawns tolerated per fleet
+      lifetime before supervision gives up (a crash-loop breaker);
+    * ``chaos`` — optional fault injector with a
+      ``plan(shard, op_index, command)`` method returning ``None``,
+      ``"kill"``, ``"drop"``, or ``"corrupt"``
+      (:class:`repro.chaos.ShardChaos` is the shipped implementation).
     """
 
-    def __init__(self, shards: int = 2, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        shards: int = 2,
+        start_method: Optional[str] = None,
+        chaos: Optional[Any] = None,
+        worker_deadline: float = 30.0,
+        max_respawns: int = 8,
+    ):
         if shards < 1:
             raise ValueError("need at least one shard")
         self.num_shards = shards
         self.services: Dict[str, ShardedService] = {}
-        self._conns: List[Any] = []
-        self._procs: List[multiprocessing.Process] = []
+        self._conns: List[Any] = [None] * shards
+        self._procs: List[Optional[multiprocessing.Process]] = [None] * shards
         self._next_ordinal = 0
         self._started = False
         self._closed = False
+        self.chaos = chaos
+        self.worker_deadline = worker_deadline
+        self.max_respawns = max_respawns
+        self.worker_restarts = 0
+        #: per shard: every mutating command since start(), replay-ready.
+        self._journal: List[List[Tuple]] = [[] for _ in range(shards)]
+        #: per shard: outbound command ordinal (the chaos hook coordinate).
+        self._op_index: List[int] = [0] * shards
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -316,20 +381,24 @@ class ShardedFleet:
         self.services[config.name] = service
         return service
 
+    def _spawn(self, shard: int) -> None:
+        """(Re)launch the worker process behind ``shard``'s pipe slot."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[shard] = parent_conn
+        self._procs[shard] = proc
+
     def start(self) -> "ShardedFleet":
         """Launch the workers and build every instance remotely."""
         if self._started:
             return self
         self._started = True
-        for _ in range(self.num_shards):
-            parent_conn, child_conn = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_shard_worker, args=(child_conn,), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        for shard in range(self.num_shards):
+            self._spawn(shard)
         specs: List[List[Tuple]] = [[] for _ in range(self.num_shards)]
         for service in self.services.values():
             by_shard: Dict[int, List[int]] = {}
@@ -347,24 +416,52 @@ class ShardedFleet:
         return self
 
     def close(self) -> None:
-        """Stop the workers (idempotent)."""
+        """Stop the workers (idempotent), escalating until none survive.
+
+        The polite path sends ``stop`` and joins; a worker that is dead,
+        wedged, or mid-crash gets ``terminate()``, then ``kill()``.  On
+        return no child of this fleet is alive (asserted in tests).
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        procs = [proc for proc in self._procs if proc is not None]
+        for conn, proc in zip(self._conns, self._procs):
+            if conn is None or proc is None or not proc.is_alive():
+                continue
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):  # pragma: no cover
                 continue
         for conn in self._conns:
-            try:
-                conn.recv()
-            except (EOFError, OSError):  # pragma: no cover
+            if conn is None:
                 continue
-        for proc in self._procs:
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                continue
+        for proc in procs:
             proc.join(timeout=5.0)
+        for proc in procs:  # escalation 1: SIGTERM the stragglers
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            if proc.is_alive():
+                proc.join(timeout=1.0)
+        for proc in procs:  # escalation 2: SIGKILL cannot be ignored
+            if proc.is_alive():  # pragma: no cover - needs a wedged worker
+                proc.kill()
+                proc.join(timeout=1.0)
         for conn in self._conns:
-            conn.close()
+            if conn is not None:
+                conn.close()
+
+    def live_workers(self) -> int:
+        """How many worker processes are currently alive (0 after close)."""
+        return sum(
+            1 for proc in self._procs if proc is not None and proc.is_alive()
+        )
 
     def __enter__(self) -> "ShardedFleet":
         return self
@@ -379,19 +476,168 @@ class ShardedFleet:
 
         The single copy of the wire protocol: sending everything before
         receiving anything is what overlaps the workers' compute — the
-        parallelism of the whole module.
+        parallelism of the whole module.  The collect side is supervised:
+        a worker that died, wedged past ``worker_deadline``, or replied
+        garbage is respawned and its journal replayed before the exchange
+        returns, so callers above never see the crash.
         """
         if not self._started:
             raise RuntimeError("fleet not started")
         for shard, message in pairs:
-            self._conns[shard].send(message)
+            self._send(shard, message)
         payloads: List[Any] = []
-        for shard, _message in pairs:
-            kind, payload = self._conns[shard].recv()
-            if kind == "error":  # pragma: no cover - protocol guard
-                raise RuntimeError(payload)
+        for shard, message in pairs:
+            deadline = _monotonic() + self.worker_deadline
+            try:
+                _kind, payload = self._recv(shard, deadline)
+            except _WorkerFault as fault:
+                _kind, payload = self._respawn_and_replay(
+                    shard, message, reason=fault.reason
+                )
             payloads.append(payload)
         return payloads
+
+    def _send(self, shard: int, message: Tuple) -> None:
+        """Journal (if mutating) and transmit one command to one shard.
+
+        The chaos hook is consulted here, exactly once per outbound
+        command, with coordinate ``(shard, op_index)`` — *after* the
+        journal append, so a killed/dropped/corrupted mutating command is
+        still recovered by replay: the supervision contract is that a
+        command journaled is a command (eventually) executed.
+        """
+        op_index = self._op_index[shard]
+        self._op_index[shard] += 1
+        if message[0] in _MUTATING:
+            self._journal[shard].append(message)
+        plan = (
+            self.chaos.plan(shard, op_index, message[0])
+            if self.chaos is not None
+            else None
+        )
+        if plan == "kill":
+            proc = self._procs[shard]
+            if proc is not None and proc.is_alive():
+                proc.kill()  # SIGKILL mid-window: no goodbye, no flush
+            return
+        if plan == "drop":
+            return  # swallowed: the recv deadline will notice
+        try:
+            if plan == "corrupt":
+                self._conns[shard].send(("__garbage__", None))
+            else:
+                self._conns[shard].send(message)
+        except (BrokenPipeError, OSError):
+            # Worker already gone; the collect side heals it.
+            pass
+
+    def _recv(self, shard: int, deadline: float) -> Tuple[str, Any]:
+        """Poll-with-deadline reply collection — never a blocking recv.
+
+        Raises :class:`_WorkerFault` on pipe EOF, worker death, deadline
+        expiry, or an ``error`` reply (a worker that answered garbage is
+        as untrustworthy as a dead one; replay rebuilds it from scratch).
+        """
+        conn = self._conns[shard]
+        while True:
+            try:
+                if conn.poll(0.05):
+                    kind, payload = conn.recv()
+                    if kind == "error":
+                        raise _WorkerFault(
+                            shard, f"worker error reply: {payload!r}"
+                        )
+                    return kind, payload
+            except (EOFError, BrokenPipeError, OSError):
+                raise _WorkerFault(shard, "pipe EOF (worker died)")
+            proc = self._procs[shard]
+            if proc is None or not proc.is_alive():
+                # One last drain: the reply may have beaten the death.
+                try:
+                    if conn.poll(0.05):
+                        kind, payload = conn.recv()
+                        if kind != "error":
+                            return kind, payload
+                except (EOFError, BrokenPipeError, OSError):
+                    pass
+                raise _WorkerFault(shard, "worker process dead")
+            if _monotonic() > deadline:
+                raise _WorkerFault(
+                    shard,
+                    f"no reply within worker_deadline={self.worker_deadline}s",
+                )
+
+    def _recv_replay(self, shard: int) -> Tuple[str, Any]:
+        """Reply collection during journal replay: fail hard, no recursion."""
+        deadline = _monotonic() + self.worker_deadline
+        try:
+            return self._recv(shard, deadline)
+        except _WorkerFault as fault:
+            raise RuntimeError(
+                f"shard {shard} worker failed during journal replay: "
+                f"{fault.reason}"
+            ) from fault
+
+    def _respawn_and_replay(
+        self, shard: int, message: Tuple, reason: str = "worker fault"
+    ) -> Tuple[str, Any]:
+        """Heal one dead/wedged shard and return the in-flight reply.
+
+        A fresh worker process replays the shard's journal — rebuilding
+        every instance through ``build_instance`` and re-advancing it
+        through every window it had already seen, which reproduces
+        byte-identical state because instances are pure functions of
+        (seed, command sequence).  When the in-flight command was
+        mutating it *is* the journal's last entry, so the final replay
+        reply is the in-flight reply; a read (``snapshots``) is simply
+        re-sent afterwards.  Chaos is **not** consulted during replay
+        and replay does not advance ``op_index`` — fault coordinates
+        stay a pure function of the logical command sequence.
+        """
+        self.worker_restarts += 1
+        if self.worker_restarts > self.max_respawns:
+            raise RuntimeError(
+                f"shard {shard}: worker crash-loop — "
+                f"{self.worker_restarts} respawns exceeds "
+                f"max_respawns={self.max_respawns} (last fault: {reason})"
+            )
+        obs.counter(
+            "repro_chaos_worker_restarts_total",
+            "Shard workers respawned by fleet supervision, by shard",
+            ("shard",),
+        ).labels(str(shard)).inc()
+        with obs.default_tracer().span(
+            "chaos.respawn",
+            shard=shard,
+            command=message[0],
+            reason=reason,
+        ) as span:
+            old = self._procs[shard]
+            if old is not None:
+                if old.is_alive():
+                    old.terminate()
+                    old.join(timeout=1.0)
+                if old.is_alive():  # pragma: no cover - needs wedged worker
+                    old.kill()
+                    old.join(timeout=1.0)
+            conn = self._conns[shard]
+            if conn is not None:
+                conn.close()
+            self._spawn(shard)
+            last: Optional[Tuple[str, Any]] = None
+            for entry in self._journal[shard]:
+                self._conns[shard].send(entry)
+                last = self._recv_replay(shard)
+            span.attributes.update(replayed=len(self._journal[shard]))
+            if message[0] in _MUTATING:
+                if last is None:  # pragma: no cover - journal invariant
+                    raise RuntimeError(
+                        f"shard {shard}: mutating command {message[0]!r} "
+                        "missing from journal"
+                    )
+                return last
+            self._conns[shard].send(message)
+            return self._recv_replay(shard)
 
     def _broadcast(self, messages: List[Tuple]) -> List[_Row]:
         """Send one message per worker; flatten every worker's rows."""

@@ -23,22 +23,30 @@ Run the daemon with ``python -m repro.ingest serve --db leaks.sqlite``.
 from .client import IngestClient, IngestError
 from .daemon import IngestServer
 from .limits import RateLimiter, TokenBucket
+from .resilience import BreakerState, CircuitBreaker, RetryPolicy
 from .scheduler import MultiTenantScheduler, TenantRunResult
 from .store import (
     IngestStore,
     PersistentBugDatabase,
+    QuarantinedProfile,
+    StoreCorruptError,
     StoredProfile,
     Tenant,
 )
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
     "IngestClient",
     "IngestError",
     "IngestServer",
     "IngestStore",
     "MultiTenantScheduler",
     "PersistentBugDatabase",
+    "QuarantinedProfile",
     "RateLimiter",
+    "RetryPolicy",
+    "StoreCorruptError",
     "StoredProfile",
     "Tenant",
     "TenantRunResult",

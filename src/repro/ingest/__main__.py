@@ -70,6 +70,16 @@ def main(argv=None) -> int:
     scan.add_argument("--db", required=True)
     scan.add_argument("--now", type=float, default=0.0)
 
+    quarantine = sub.add_parser(
+        "quarantine", help="inspect the dead-letter (poison profile) table"
+    )
+    quarantine.add_argument("--db", required=True)
+    quarantine.add_argument("--tenant", default=None)
+    quarantine.add_argument(
+        "--show-body", action="store_true",
+        help="include the quarantined profile bytes in the output",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "serve":
@@ -116,6 +126,24 @@ def main(argv=None) -> int:
         for name, result in results.items():
             payload = result.summary()
             payload["diagnoses"] = _diagnoses_summary(result.diagnoses)
+            print(json.dumps(payload))
+        store.close()
+        return 0
+
+    if args.command == "quarantine":
+        store = IngestStore(args.db)
+        for entry in store.quarantined(args.tenant):
+            payload = {
+                "quarantine_id": entry.quarantine_id,
+                "tenant": entry.tenant,
+                "profile_id": entry.profile_id,
+                "quarantined_at": entry.quarantined_at,
+                "reason": entry.reason,
+                "dialect": entry.dialect,
+                "bytes": len(entry.body),
+            }
+            if args.show_body:
+                payload["body"] = entry.body
             print(json.dumps(payload))
         store.close()
         return 0

@@ -2,17 +2,45 @@
 
 A deliberately thin urllib wrapper: the service's contract is the HTTP
 API itself, and keeping the client dumb keeps that contract honest.
+
+What the client *does* own is its own survival against a misbehaving
+daemon — the failure modes the chaos suite injects:
+
+* every call carries a **timeout** (constructor-level, default 5s) so a
+  stalled daemon costs a bounded wait, never a hung process;
+* transient failures — network errors, timeouts, HTTP 5xx — are retried
+  with exponential backoff and *deterministic* jitter
+  (:class:`~repro.ingest.resilience.RetryPolicy`), bounded by a
+  client-wide **retry budget** so a dead daemon cannot turn one caller
+  into an unbounded retry storm;
+* 4xx responses are the daemon speaking, not failing — they surface
+  immediately as :class:`IngestError`, never retried.
+
+``transport`` is the seam the chaos plane uses: it performs the actual
+HTTP exchange and defaults to ``urllib.request.urlopen`` with the
+configured timeout.  :class:`repro.chaos.TransportChaos` wraps it to
+inject network faults without touching this module.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+import time
+from typing import Callable, Dict, Optional
 from urllib import error, request
+
+from repro import obs
+
+from .resilience import RetryPolicy
+
+#: Conventional status for "could not reach the daemon at all" (the
+#: networking world's unofficial 599 Network Connect Timeout) — used
+#: when the retry budget runs out without ever getting an HTTP answer.
+NETWORK_ERROR_STATUS = 599
 
 
 class IngestError(RuntimeError):
-    """A non-2xx response from the daemon."""
+    """A non-2xx response from the daemon (or an exhausted retry run)."""
 
     def __init__(self, status: int, reason: str):
         super().__init__(f"HTTP {status}: {reason}")
@@ -20,13 +48,72 @@ class IngestError(RuntimeError):
         self.reason = reason
 
 
+def _default_transport(req: request.Request, timeout: float):
+    return request.urlopen(req, timeout=timeout)
+
+
 class IngestClient:
     """One tenant's view of an ingestion daemon."""
 
-    def __init__(self, base_url: str, tenant: str, token: str):
+    def __init__(
+        self,
+        base_url: str,
+        tenant: str,
+        token: str,
+        timeout: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        retry_budget: int = 32,
+        transport: Optional[Callable] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.base_url = base_url.rstrip("/")
         self.tenant = tenant
         self.token = token
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.retry_budget = retry_budget
+        self._transport = transport or _default_transport
+        self._sleep = sleep
+        self._request_ordinal = 0
+
+    # -- the retrying exchange ----------------------------------------------
+
+    def _perform(self, req: request.Request, path: str) -> bytes:
+        """One logical request: transport + bounded, budgeted retries."""
+        key = f"{req.get_method()} {path} #{self._request_ordinal}"
+        self._request_ordinal += 1
+        delays = self.retry.delays(key)
+        while True:
+            try:
+                with self._transport(req, self.timeout) as response:
+                    return response.read()
+            except error.HTTPError as err:
+                if err.code < 500:
+                    # The daemon answered; 4xx is a verdict, not a fault.
+                    try:
+                        reason = json.loads(err.read().decode()).get(
+                            "error", ""
+                        )
+                    except Exception:
+                        reason = err.reason
+                    raise IngestError(err.code, reason) from None
+                last = IngestError(err.code, str(err.reason))
+                reason_label = f"http_{err.code}"
+            except (error.URLError, TimeoutError, ConnectionError, OSError) as err:
+                last = IngestError(
+                    NETWORK_ERROR_STATUS, f"daemon unreachable: {err}"
+                )
+                reason_label = "network"
+            delay = next(delays, None)
+            if delay is None or self.retry_budget <= 0:
+                raise last from None
+            self.retry_budget -= 1
+            obs.counter(
+                "repro_ingest_client_retries_total",
+                "Client-side upload/query retries, by failure class",
+                ("reason",),
+            ).labels(reason_label).inc()
+            self._sleep(delay)
 
     def _request(
         self,
@@ -41,15 +128,7 @@ class IngestClient:
         req.add_header("Authorization", f"Bearer {self.token}")
         for name, value in (headers or {}).items():
             req.add_header(name, value)
-        try:
-            with request.urlopen(req) as response:
-                return json.loads(response.read().decode())
-        except error.HTTPError as err:
-            try:
-                reason = json.loads(err.read().decode()).get("error", "")
-            except Exception:
-                reason = err.reason
-            raise IngestError(err.code, reason) from None
+        return json.loads(self._perform(req, path).decode())
 
     def upload(
         self,
@@ -98,8 +177,4 @@ class IngestClient:
     def metrics(self) -> str:
         """The daemon's raw Prometheus text exposition (no auth needed)."""
         req = request.Request(self.base_url + "/metrics", method="GET")
-        try:
-            with request.urlopen(req) as response:
-                return response.read().decode("utf-8")
-        except error.HTTPError as err:
-            raise IngestError(err.code, err.reason) from None
+        return self._perform(req, "/metrics").decode("utf-8")

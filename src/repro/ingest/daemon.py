@@ -123,6 +123,8 @@ class IngestServer:
         clock: Callable[[], float] = time.time,
         quiet: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        fault_injector: Optional[object] = None,
+        drain_timeout: float = 5.0,
     ):
         self.store = store
         self.max_body_bytes = max_body_bytes
@@ -130,6 +132,13 @@ class IngestServer:
         self.scheduler = scheduler or MultiTenantScheduler(store)
         self.clock = clock
         self.quiet = quiet
+        #: Chaos hook: an object with ``on_request(method, endpoint)``
+        #: returning None / ("stall", seconds) / ("error", status) —
+        #: see :class:`repro.chaos.DaemonChaos`.  Never set in product.
+        self.fault_injector = fault_injector
+        self.drain_timeout = drain_timeout
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self.limiter = RateLimiter(rate=rate, burst=burst, clock=clock)
         self.registry = registry if registry is not None else MetricsRegistry()
         self._started = _monotonic()
@@ -228,6 +237,34 @@ class IngestServer:
         self._httpd.serve_forever()
 
     def close(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests.
+
+        ``shutdown()`` only stops the accept loop; handler threads may
+        still be mid-request (a slow scan, a large upload).  Waiting for
+        the in-flight count to reach zero — bounded by
+        ``drain_timeout`` — means a client whose request was already
+        admitted gets its response instead of a reset socket.
+        """
+        self._httpd.shutdown()
+        deadline = _monotonic() + self.drain_timeout
+        while _monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.005)
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def abort(self) -> None:
+        """Crash-shaped shutdown: no drain, no goodbye.
+
+        What a SIGKILL'd daemon looks like to its clients and its sqlite
+        file — the restart-persistence tests use this to prove the
+        archive, counters, and funnel survive an *ungraceful* death,
+        not just a polite one.
+        """
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
@@ -262,9 +299,21 @@ class IngestServer:
         return "unknown", None
 
     def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            self._dispatch_inner(handler, method)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def _dispatch_inner(
+        self, handler: BaseHTTPRequestHandler, method: str
+    ) -> None:
         started = _monotonic()
         endpoint, tenant = self._endpoint_label(handler.path)
         try:
+            self._maybe_inject_fault(method, endpoint)
             status, payload = self._route(handler, method)
         except _ApiError as err:
             if err.status in (400, 401, 413, 429):
@@ -313,6 +362,19 @@ class IngestServer:
             tenant or "-",
             elapsed * 1000.0,
         )
+
+    def _maybe_inject_fault(self, method: str, endpoint: str) -> None:
+        """Consult the chaos hook (no-op without one installed)."""
+        if self.fault_injector is None:
+            return
+        directive = self.fault_injector.on_request(method, endpoint)
+        if directive is None:
+            return
+        kind, param = directive
+        if kind == "stall":
+            time.sleep(float(param))
+        elif kind == "error":
+            raise _ApiError(int(param), "injected fault (chaos)")
 
     def _route(
         self, handler: BaseHTTPRequestHandler, method: str

@@ -1,0 +1,98 @@
+"""Failure-handling primitives for the ingestion plane.
+
+Two small, deterministic machines the chaos suite exercises end to end:
+
+* :class:`RetryPolicy` — exponential backoff with *deterministic* jitter
+  (seeded per request key, so two runs of the same pipeline sleep the
+  same schedule) and a client-wide retry budget that stops a flapping
+  daemon from turning every caller into a retry storm;
+* :class:`CircuitBreaker` — the per-tenant breaker
+  :class:`~repro.ingest.scheduler.MultiTenantScheduler` consults: after
+  ``threshold`` consecutive failures the tenant is skipped (OPEN) for
+  ``cooldown`` sweeps, then probed once (HALF_OPEN); the probe's result
+  closes or re-opens it.  Time is the scheduler's own run counter, not
+  the wall clock — breaker transitions replay deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff, deterministically jittered, budgeted.
+
+    ``delays(key)`` yields the sleep before each retry (so a policy
+    with ``attempts=3`` yields twice).  The jitter stream is seeded by
+    ``(seed, key)``: distinct requests de-synchronize (no thundering
+    herd against a recovering daemon) while identical replays sleep
+    identically.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def delays(self, key: str = "") -> Iterator[float]:
+        # String seed: stdlib random rejects tuple seeds on 3.11+.
+        rnd = random.Random(f"{self.seed}|{key}")
+        for n in range(max(0, self.attempts - 1)):
+            delay = min(self.max_delay, self.base_delay * self.multiplier**n)
+            yield delay + rnd.random() * delay * self.jitter
+
+
+class BreakerState(Enum):
+    CLOSED = 0
+    OPEN = 1
+    HALF_OPEN = 2
+
+
+class CircuitBreaker:
+    """A consecutive-failure breaker clocked by an external run counter.
+
+    Lifecycle: CLOSED --(threshold consecutive failures)--> OPEN
+    --(cooldown runs elapse)--> HALF_OPEN --(success)--> CLOSED or
+    --(failure)--> OPEN again.  ``allow(run)`` answers "may this run
+    try?" and performs the OPEN -> HALF_OPEN transition when the
+    cooldown has passed.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: int = 1):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_run = 0
+
+    def allow(self, run: int) -> bool:
+        """May the caller attempt work during ``run``?"""
+        if self.state is BreakerState.OPEN:
+            if run > self.opened_at_run + self.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self, run: int) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at_run = run

@@ -12,6 +12,24 @@ arrives pre-triaged.
 Per-tenant knobs (``threshold``, ``top_n``) come from the tenant
 registry: a tenant ingesting profiles from small test deployments can
 run at threshold 50 while a production tenant keeps the paper's 10K bar.
+
+Failure handling (the chaos plane's contract with this module):
+
+* **tenant isolation** — :meth:`MultiTenantScheduler.run_once` never
+  lets one tenant's failure abort the sweep: the failed tenant yields a
+  :class:`TenantRunResult` with ``error`` set and every other tenant
+  still runs;
+* **circuit breaker** — after ``breaker_threshold`` *consecutive*
+  failures a tenant's breaker opens and later sweeps skip it
+  (``skipped=True``) for ``breaker_cooldown`` runs, then probe it
+  half-open; the probe's outcome closes or re-opens the breaker.
+  Breaker state is exported as the ``repro_ingest_breaker_state`` gauge
+  (0=closed, 1=open, 2=half-open);
+* **poison quarantine** — an archived profile whose parse crashes is
+  moved to the store's dead-letter table
+  (:meth:`~repro.ingest.store.IngestStore.quarantine_profile`) instead
+  of re-crashing every future sweep, counted in
+  ``repro_ingest_quarantined_total``.
 """
 
 from __future__ import annotations
@@ -24,6 +42,7 @@ from repro.leakprof import LeakProf, LeakReport, OwnershipRouter, Suspect
 from repro.leakprof.impact import LeakCandidate
 from repro.obs.registry import monotonic as _monotonic
 
+from .resilience import BreakerState, CircuitBreaker
 from .store import IngestStore, PersistentBugDatabase, Tenant
 
 
@@ -39,9 +58,29 @@ class TenantRunResult:
     #: suspect key -> diagnosis (pattern name + confidence), for the
     #: suspects whose representative stack matched a registered pattern.
     diagnoses: Dict[str, object] = field(default_factory=dict)
+    #: poison profiles dead-lettered during this run's archive sweep.
+    quarantined: int = 0
+    #: set when the tenant's run raised: the failure, as one line.
+    error: Optional[str] = None
+    #: True when the run never happened (circuit breaker open).
+    skipped: bool = False
+
+    @classmethod
+    def failed(
+        cls, tenant: str, error: str, skipped: bool = False
+    ) -> "TenantRunResult":
+        return cls(
+            tenant=tenant,
+            profiles_scanned=0,
+            suspects=[],
+            new_reports=[],
+            duplicates=[],
+            error=error,
+            skipped=skipped,
+        )
 
     def summary(self) -> Dict:
-        return {
+        payload = {
             "tenant": self.tenant,
             "profiles_scanned": self.profiles_scanned,
             "suspects": len(self.suspects),
@@ -49,6 +88,13 @@ class TenantRunResult:
             "duplicates": len(self.duplicates),
             "diagnosed": len(self.diagnoses),
         }
+        if self.quarantined:
+            payload["quarantined"] = self.quarantined
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.skipped:
+            payload["skipped"] = True
+        return payload
 
 
 class MultiTenantScheduler:
@@ -67,15 +113,60 @@ class MultiTenantScheduler:
         router: Optional[OwnershipRouter] = None,
         diagnose: Optional[Callable] = None,
         remediator: Optional[Callable[[LeakReport], object]] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 1,
     ):
         self.store = store
         self.router = router or OwnershipRouter()
         self._diagnose = diagnose
         self.remediator = remediator
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._sweeps = 0  # the run counter clocking every breaker
 
     def bug_db(self, tenant: str) -> PersistentBugDatabase:
         """The tenant's durable bug database (fresh view of the store)."""
         return PersistentBugDatabase(self.store, tenant)
+
+    def breaker(self, tenant: str) -> CircuitBreaker:
+        """The tenant's circuit breaker (created closed on first use)."""
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+            )
+            self._breakers[tenant] = breaker
+        return breaker
+
+    # -- one tenant ----------------------------------------------------------
+
+    def _sweep_archive(self, tenant: Tenant, now: float):
+        """Parse the tenant's archive, dead-lettering poison profiles.
+
+        A profile whose parse raises is quarantined (removed from the
+        live archive, bytes kept in the dead-letter table) so it is
+        inspected once and never crashes a sweep again.
+        """
+        profiles = []
+        quarantined = 0
+        for item in self.store.profiles_for(tenant.name):
+            try:
+                profiles.append(item.parse())
+            except Exception as err:
+                self.store.quarantine_profile(
+                    item,
+                    reason=f"{type(err).__name__}: {err}",
+                    at=now,
+                )
+                quarantined += 1
+                obs.counter(
+                    "repro_ingest_quarantined_total",
+                    "Poison profiles dead-lettered during archive sweeps",
+                    ("tenant",),
+                ).labels(tenant.name).inc()
+        return profiles, quarantined
 
     def run_tenant(
         self, tenant: Tenant, now: float = 0.0
@@ -91,9 +182,10 @@ class MultiTenantScheduler:
         run_started = _monotonic()
         with tracer.span("ingest.run_tenant", tenant=tenant.name) as root:
             with tracer.span("ingest.sweep", tenant=tenant.name) as sw:
-                stored = self.store.profiles_for(tenant.name)
-                profiles = [item.parse() for item in stored]
-                sw.attributes.update(profiles=len(profiles))
+                profiles, quarantined = self._sweep_archive(tenant, now)
+                sw.attributes.update(
+                    profiles=len(profiles), quarantined=quarantined
+                )
             leakprof = LeakProf(
                 threshold=tenant.threshold,
                 top_n=tenant.top_n,
@@ -138,15 +230,61 @@ class MultiTenantScheduler:
             new_reports=result.new_reports,
             duplicates=result.duplicates,
             diagnoses=diagnoses,
+            quarantined=quarantined,
         )
+
+    # -- the sweep -----------------------------------------------------------
+
+    def _export_breaker_state(self, tenant: str) -> None:
+        obs.gauge(
+            "repro_ingest_breaker_state",
+            "Per-tenant circuit breaker (0=closed, 1=open, 2=half-open)",
+            ("tenant",),
+        ).labels(tenant).set(float(self.breaker(tenant).state.value))
 
     def run_once(self, now: float = 0.0) -> Dict[str, TenantRunResult]:
         """The full multi-tenant sweep: every registered tenant, in name
-        order (deterministic, like everything else in this repo)."""
-        return {
-            tenant.name: self.run_tenant(tenant, now=now)
-            for tenant in self.store.tenants()
-        }
+        order (deterministic, like everything else in this repo).
+
+        One tenant's failure is *that tenant's* result, never the
+        sweep's: exceptions are caught per tenant, fed to its circuit
+        breaker, and reported as ``TenantRunResult(error=...)``.
+        """
+        self._sweeps += 1
+        results: Dict[str, TenantRunResult] = {}
+        for tenant in self.store.tenants():
+            breaker = self.breaker(tenant.name)
+            previous_state = breaker.state
+            if not breaker.allow(self._sweeps):
+                results[tenant.name] = TenantRunResult.failed(
+                    tenant.name,
+                    error="circuit breaker open; run skipped",
+                    skipped=True,
+                )
+                self._export_breaker_state(tenant.name)
+                continue
+            try:
+                result = self.run_tenant(tenant, now=now)
+                breaker.record_success()
+            except Exception as err:
+                breaker.record_failure(self._sweeps)
+                obs.counter(
+                    "repro_ingest_tenant_failures_total",
+                    "Tenant daily runs that raised (isolated per tenant)",
+                    ("tenant",),
+                ).labels(tenant.name).inc()
+                result = TenantRunResult.failed(
+                    tenant.name, error=f"{type(err).__name__}: {err}"
+                )
+            if breaker.state is not previous_state:
+                obs.counter(
+                    "repro_ingest_breaker_transitions_total",
+                    "Circuit breaker transitions, by tenant and new state",
+                    ("tenant", "to"),
+                ).labels(tenant.name, breaker.state.name.lower()).inc()
+            self._export_breaker_state(tenant.name)
+            results[tenant.name] = result
+        return results
 
     def _resolve_diagnose(self) -> Optional[Callable]:
         if self._diagnose is not None:
@@ -155,3 +293,12 @@ class MultiTenantScheduler:
 
         self._diagnose = diagnose
         return self._diagnose
+
+
+# Re-exported for API convenience: scheduler users configure breakers.
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "MultiTenantScheduler",
+    "TenantRunResult",
+]

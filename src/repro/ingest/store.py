@@ -27,7 +27,7 @@ import json
 import sqlite3
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.leakprof.detector import DEFAULT_THRESHOLD
 from repro.leakprof.impact import LeakCandidate
@@ -71,7 +71,25 @@ CREATE TABLE IF NOT EXISTS counters (
     name        TEXT PRIMARY KEY,
     value       INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS quarantine (
+    id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    tenant          TEXT NOT NULL,
+    profile_id      INTEGER NOT NULL,
+    quarantined_at  REAL NOT NULL,
+    reason          TEXT NOT NULL,
+    dialect         TEXT NOT NULL,
+    body            TEXT NOT NULL
+);
 """
+
+
+class StoreCorruptError(RuntimeError):
+    """The sqlite file failed its open-time ``PRAGMA integrity_check``.
+
+    Raised at :class:`IngestStore` construction so a corrupt archive is
+    a loud, typed startup failure — not an ``OperationalError`` thrown
+    from the middle of a multi-tenant sweep hours later.
+    """
 
 
 @dataclass(frozen=True)
@@ -108,6 +126,19 @@ class StoredProfile:
             instance=self.instance,
         )
         return profile
+
+
+@dataclass(frozen=True)
+class QuarantinedProfile:
+    """One dead-lettered upload: poison the sweep refused to re-eat."""
+
+    quarantine_id: int
+    tenant: str
+    profile_id: int
+    quarantined_at: float
+    reason: str
+    dialect: str
+    body: str
 
 
 # -- JSON codec for the report payloads --------------------------------------
@@ -188,14 +219,52 @@ def _candidate_from_json(payload: str) -> LeakCandidate:
 
 
 class IngestStore:
-    """The sqlite-backed persistence layer of the ingestion service."""
+    """The sqlite-backed persistence layer of the ingestion service.
 
-    def __init__(self, path: str = ":memory:"):
+    Connection hygiene for a store that serves a threaded daemon while a
+    scheduler sweeps it: WAL journaling (readers never block the upload
+    writer), a ``busy_timeout`` so a momentarily-locked database waits
+    instead of raising ``database is locked``, and an open-time
+    ``PRAGMA integrity_check`` that turns a corrupt file into a typed
+    :class:`StoreCorruptError` before any sweep trusts it.
+
+    ``fault_hook`` is the chaos plane's injection point: when set, it is
+    called with the operation name before each public operation touches
+    sqlite — raising from it is indistinguishable from sqlite failing
+    (see :class:`repro.chaos.StoreChaos`).  Product code never sets it.
+    """
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        fault_hook: Optional[Callable[[str], None]] = None,
+        busy_timeout_ms: int = 5_000,
+    ):
         self.path = path
+        self._fault_hook = fault_hook
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
+        try:
+            if path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+            row = self._conn.execute("PRAGMA integrity_check").fetchone()
+        except sqlite3.DatabaseError as err:
+            self._conn.close()
+            raise StoreCorruptError(
+                f"{path!r} is not a usable sqlite database: {err}"
+            ) from err
+        if row is None or row[0] != "ok":
+            self._conn.close()
+            raise StoreCorruptError(
+                f"{path!r} failed integrity_check: {row[0] if row else '?'}"
+            )
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+
+    def _faults(self, op: str) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(op)
 
     def close(self) -> None:
         with self._lock:
@@ -212,6 +281,7 @@ class IngestStore:
         created_at: float = 0.0,
     ) -> Tenant:
         """Register (or re-key/re-tune) a tenant; idempotent by name."""
+        self._faults("register_tenant")
         tenant = Tenant(name, token, threshold, top_n, created_at)
         with self._lock:
             self._conn.execute(
@@ -225,6 +295,7 @@ class IngestStore:
         return tenant
 
     def tenant(self, name: str) -> Optional[Tenant]:
+        self._faults("tenant")
         with self._lock:
             row = self._conn.execute(
                 "SELECT name, token, threshold, top_n, created_at"
@@ -234,6 +305,7 @@ class IngestStore:
         return Tenant(*row) if row else None
 
     def tenants(self) -> List[Tenant]:
+        self._faults("tenants")
         with self._lock:
             rows = self._conn.execute(
                 "SELECT name, token, threshold, top_n, created_at"
@@ -254,6 +326,7 @@ class IngestStore:
         received_at: float = 0.0,
     ) -> int:
         """Archive one upload verbatim; returns the profile id."""
+        self._faults("store_profile")
         with self._lock:
             cursor = self._conn.execute(
                 "INSERT INTO profiles (tenant, received_at, dialect,"
@@ -279,6 +352,7 @@ class IngestStore:
         limit: Optional[int] = None,
     ) -> List[StoredProfile]:
         """A tenant's archived uploads, oldest first."""
+        self._faults("profiles_for")
         query = (
             "SELECT id, tenant, received_at, dialect, service, instance,"
             " goroutines, body FROM profiles WHERE tenant = ?"
@@ -308,6 +382,70 @@ class IngestStore:
                 ).fetchone()
         return int(row[0])
 
+    # -- dead-letter quarantine ----------------------------------------------
+
+    def quarantine_profile(
+        self, profile: StoredProfile, reason: str, at: float = 0.0
+    ) -> int:
+        """Move one archived upload into the dead-letter table.
+
+        The row leaves ``profiles`` (so no later sweep re-parses it) but
+        its bytes are kept verbatim in ``quarantine`` for inspection —
+        ``python -m repro.ingest quarantine`` lists them.  Returns the
+        quarantine id.
+        """
+        self._faults("quarantine_profile")
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO quarantine (tenant, profile_id,"
+                " quarantined_at, reason, dialect, body)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    profile.tenant,
+                    profile.profile_id,
+                    at,
+                    reason,
+                    profile.dialect,
+                    profile.body,
+                ),
+            )
+            self._conn.execute(
+                "DELETE FROM profiles WHERE id = ?", (profile.profile_id,)
+            )
+            self._conn.commit()
+            return int(cursor.lastrowid)
+
+    def quarantined(
+        self, tenant: Optional[str] = None
+    ) -> List[QuarantinedProfile]:
+        """Dead-lettered uploads, oldest first (all tenants by default)."""
+        self._faults("quarantined")
+        query = (
+            "SELECT id, tenant, profile_id, quarantined_at, reason,"
+            " dialect, body FROM quarantine"
+        )
+        params: List = []
+        if tenant is not None:
+            query += " WHERE tenant = ?"
+            params.append(tenant)
+        query += " ORDER BY id"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [QuarantinedProfile(*row) for row in rows]
+
+    def quarantine_count(self, tenant: Optional[str] = None) -> int:
+        with self._lock:
+            if tenant is None:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM quarantine"
+                ).fetchone()
+            else:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM quarantine WHERE tenant = ?",
+                    (tenant,),
+                ).fetchone()
+        return int(row[0])
+
     # -- report persistence (PersistentBugDatabase's backend) ----------------
 
     @staticmethod
@@ -315,6 +453,7 @@ class IngestStore:
         return json.dumps(list(candidate.key))
 
     def save_report(self, tenant: str, report: LeakReport) -> None:
+        self._faults("save_report")
         with self._lock:
             self._conn.execute(
                 "INSERT INTO reports (tenant, key, report_id, status,"
@@ -337,6 +476,7 @@ class IngestStore:
             self._conn.commit()
 
     def load_reports(self, tenant: str) -> List[LeakReport]:
+        self._faults("load_reports")
         with self._lock:
             rows = self._conn.execute(
                 "SELECT report_id, status, owner, filed_at, candidate,"
@@ -375,6 +515,7 @@ class IngestStore:
 
     def next_counter(self, name: str) -> int:
         """Monotonic durable counter (report ids across restarts)."""
+        self._faults("next_counter")
         with self._lock:
             self._conn.execute(
                 "INSERT INTO counters (name, value) VALUES (?, 0)"

@@ -431,3 +431,145 @@ class TestCli:
         assert main(["scan", "--db", db]) == 0
         out = capsys.readouterr().out
         assert '"new_reports": 1' in out
+
+
+# ---------------------------------------------------------------------------
+# Hardening: sqlite hygiene, crash-shaped restarts, the dead-letter CLI
+
+
+class TestStoreHardening:
+    def test_file_stores_run_wal_with_busy_timeout(self, tmp_path):
+        store = IngestStore(str(tmp_path / "wal.sqlite"))
+        (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+        (timeout,) = store._conn.execute("PRAGMA busy_timeout").fetchone()
+        assert mode == "wal"
+        assert timeout == 5000
+        store.close()
+
+    def test_corrupt_file_is_a_typed_startup_error(self, tmp_path):
+        from repro.ingest import StoreCorruptError
+
+        path = tmp_path / "corrupt.sqlite"
+        path.write_bytes(b"SQLite format 3\x00" + b"\x81" * 512)
+        with pytest.raises(StoreCorruptError):
+            IngestStore(str(path))
+
+    def test_quarantine_moves_bytes_out_of_the_live_archive(self, tmp_path):
+        store = IngestStore(str(tmp_path / "q.sqlite"))
+        store.register_tenant("acme", "tok")
+        store.store_profile(
+            "acme", "not a profile \x00", dialect="simulator", goroutines=0
+        )
+        (profile,) = store.profiles_for("acme")
+        store.quarantine_profile(profile, reason="boom", at=9.0)
+        assert store.profiles_for("acme") == []
+        (entry,) = store.quarantined("acme")
+        assert entry.body == "not a profile \x00"
+        assert entry.reason == "boom"
+        assert entry.profile_id == profile.profile_id
+        assert store.quarantine_count() == 1
+        store.close()
+
+
+class TestDaemonCrashRestart:
+    def test_crash_between_uploads_loses_no_state(self, tmp_path):
+        """The crash drill: ``abort()`` the daemon mid-life (no drain, no
+        goodbye), restart over the same sqlite file, and verify the
+        archive, the report-id counter, and the FILED->ACK funnel all
+        resume exactly where they were."""
+        db = str(tmp_path / "crash.sqlite")
+
+        store = IngestStore(db)
+        store.register_tenant("acme", "tok-a", threshold=3)
+        server = IngestServer(store, admin_token="adm").start()
+        acme = IngestClient(server.url, "acme", "tok-a")
+        acme.upload(fixture("go1.19_chan_send_leak.txt"), instance="i-1")
+        IngestClient(server.url, "-", "adm").scan()
+        db_before = server.scheduler.bug_db("acme")
+        (report,) = db_before.all_reports()
+        db_before.acknowledge(report)
+        first_id = report.report_id
+        server.abort()  # crash-shaped: sockets die, nothing flushed
+        store.close()
+
+        store2 = IngestStore(db)
+        with IngestServer(store2, admin_token="adm") as server2:
+            acme2 = IngestClient(server2.url, "acme", "tok-a")
+            # the archive survived the crash
+            assert len(acme2.profiles()["profiles"]) == 1
+            acme2.upload(
+                fixture("go1.22_select_timeout_leak.txt"), instance="i-2"
+            )
+            IngestClient(server2.url, "-", "adm").scan()
+            payload = acme2.reports()
+            assert payload["funnel"]["reported"] == 2
+            assert payload["funnel"]["acknowledged"] == 1
+            ids = sorted(r["report_id"] for r in payload["reports"])
+            assert ids[0] == first_id
+            assert ids[1] > first_id, "report-id counter reset by the crash"
+        store2.close()
+
+    def test_graceful_close_drains_inflight_requests(self, tmp_path):
+        """close() must let an already-accepted (stalled) upload finish."""
+        import threading
+
+        from repro.chaos import DaemonChaos, FaultKind, FaultSchedule
+
+        schedule = FaultSchedule().pin(
+            FaultKind.DAEMON_STALL, "tenant_profiles", 0, param=0.3
+        )
+        store = IngestStore(str(tmp_path / "drain.sqlite"))
+        store.register_tenant("acme", "tok-a", threshold=3)
+        server = IngestServer(
+            store, fault_injector=DaemonChaos(schedule)
+        ).start()
+        client = IngestClient(server.url, "acme", "tok-a")
+        receipts = []
+
+        def slow_upload():
+            receipts.append(
+                client.upload(
+                    fixture("go1.19_chan_send_leak.txt"), instance="i-1"
+                )
+            )
+
+        thread = threading.Thread(target=slow_upload)
+        thread.start()
+        deadline = __import__("time").monotonic() + 2.0
+        while server._inflight == 0:  # request accepted, now stalling
+            assert __import__("time").monotonic() < deadline
+        server.close()  # must drain, not sever
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert receipts and receipts[0]["dialect"] == "go"
+        assert len(store.profiles_for("acme")) == 1
+        store.close()
+
+
+class TestQuarantineCli:
+    def test_scan_reports_quarantine_and_cli_lists_it(self, tmp_path, capsys):
+        from repro.chaos import poison_profile_text
+        from repro.ingest.__main__ import main
+
+        db = str(tmp_path / "deadletter.sqlite")
+        assert main(["add-tenant", "--db", db, "--name", "acme",
+                     "--token", "tok", "--threshold", "3"]) == 0
+        store = IngestStore(db)
+        store.store_profile(
+            "acme", poison_profile_text(seed=3),
+            dialect="simulator", goroutines=0,
+        )
+        store.close()
+
+        assert main(["scan", "--db", db]) == 0
+        assert '"quarantined": 1' in capsys.readouterr().out
+
+        assert main(["quarantine", "--db", db, "--tenant", "acme",
+                     "--show-body"]) == 0
+        import json as _json
+
+        (line,) = capsys.readouterr().out.strip().splitlines()
+        entry = _json.loads(line)
+        assert entry["tenant"] == "acme"
+        assert entry["body"] == poison_profile_text(seed=3)
+        assert entry["reason"]
