@@ -1,29 +1,46 @@
-"""Fleet scale-out: single-process vs sharded execution of a 5k fleet.
+"""Fleet scale-out: continuous detection, single-process vs sharded.
 
-The paper's regime is thousands of service instances monitored daily;
-``Fleet.advance_window`` steps them serially, so a production-scale week
-is wall-clock bound in one Python process.  This bench drives the same
-5,000-instance simulated week twice — once single-process, once through
-:class:`repro.fleet.ShardedFleet` across worker processes — and records
-the wall-clock ratio in ``BENCH_fleet_scale.json``.
+The paper's regime is thousands of service instances monitored
+*continuously*; ``Fleet.advance_window`` steps them serially and every
+detection pass re-sweeps the world, so a production-scale week is
+wall-clock bound in one Python process.  This bench drives the same
+simulated week through three execution planes and records the results
+in ``BENCH_fleet_scale.json``:
 
-Two assertions gate the result:
+* **single process** — advance serially, then snapshot + profile +
+  ``scan_fleet`` every window (the batch sweep the paper starts from);
+* **sharded, batch mode** — advance in worker processes, ship every
+  instance's full pickled snapshot back each window, scan parent-side;
+* **sharded, streaming mode** — workers ship per-goroutine deltas once
+  and O(1) stat rows via shared memory; the parent's online scorer
+  answers each window's suspect query with **zero** wire traffic.
 
-* **speedup** — the sharded run must beat the serial one by at least
-  ``FLEET_SCALE_MIN_SPEEDUP`` (default 2.5× at 4 workers).  The bar is
-  enforced only when the machine exposes at least ``SHARDS`` CPUs —
-  parallel speedup is a hardware property, and a 1-CPU container can
-  only time-slice.  On such machines the gate shifts to the part that
-  *is* software's responsibility: a 1-shard run must stay within
-  ``FLEET_SCALE_MAX_PROTOCOL_OVERHEAD`` of serial (measured ~1.0x —
-  the command/row boundary is nearly free, so on k cores the speedup
-  is k divided by that overhead).  The JSON records ``cpus`` so every
-  number is interpretable.
-* **determinism** — the N-shard ``ServiceSample`` histories must be
-  byte-identical to the single-process run at the same seeds, and the
-  LeakProf daily run over shipped snapshots must report the same
-  suspects as the live sweep.  Parallelism that changed a single sample
+Four assertions gate the result:
+
+* **determinism** — ``ServiceSample`` histories, the per-window suspect
+  lists, and the final LeakProf daily run must be byte-identical to the
+  single-process reference for 1-, 2- and ``SHARDS``-shard streaming
+  runs and for the batch run.  Parallelism that changed a single sample
   would be a wrong answer delivered faster.  This gate always applies.
+* **speedup** — the ``SHARDS``-shard streaming run must beat serial by
+  ``FLEET_SCALE_MIN_SPEEDUP`` (default 2.5x).  Enforced only when the
+  machine exposes at least ``SHARDS`` CPUs — parallel speedup is a
+  hardware property, and a 1-CPU container can only time-slice; the
+  JSON records ``cpus`` and ``min_speedup_enforced`` so every number is
+  interpretable.
+* **protocol overhead** — a 1-shard streaming run must cost at most
+  ``FLEET_SCALE_MAX_PROTOCOL_OVERHEAD`` (default 1.05x) of serial,
+  measured in **CPU seconds** (worker compute reported at ``stop`` +
+  parent compute over the window loop, against serial's process time).
+  This is the software half of the speedup story — on k cores the
+  speedup is ~k divided by this — and CPU time is what makes it
+  *always* enforceable, on any host: wall-clock ratios on a loaded
+  shared machine swing +/-15% from scheduler contention alone, CPU
+  ratios don't.
+* **wire economy** — streaming must move fewer than
+  ``FLEET_SCALE_MAX_BYTES_RATIO`` (default 25%) of the bytes-per-window
+  the batch plane ships.  Deltas that silently grew back into full
+  snapshots would still be "correct", just pointless.
 
 CI runs a reduced size via the ``FLEET_SCALE_*`` environment knobs (see
 .github/workflows/ci.yml); the committed JSON is from a full run.
@@ -31,6 +48,7 @@ CI runs a reduced size via the ``FLEET_SCALE_*`` environment knobs (see
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 
@@ -42,8 +60,9 @@ from repro.fleet import (
     ShardedFleet,
     TrafficShape,
 )
-from repro.leakprof import LeakProf
+from repro.leakprof import LeakProf, scan_fleet
 from repro.patterns import healthy, timeout_leak
+from repro.snapshot import snapshot_instance
 
 from _emit import emit
 from conftest import print_table
@@ -52,15 +71,27 @@ SEED = 11
 WINDOW = 43_200.0  # 12h windows: 14 per simulated week
 
 #: Reduced-size knobs for CI; defaults reproduce the committed run.
-INSTANCES = int(os.environ.get("FLEET_SCALE_INSTANCES", "5000"))
+INSTANCES = int(os.environ.get("FLEET_SCALE_INSTANCES", "2000"))
 WINDOWS = int(os.environ.get("FLEET_SCALE_WINDOWS", "14"))
 SHARDS = int(os.environ.get("FLEET_SCALE_SHARDS", "4"))
 MIN_SPEEDUP = float(os.environ.get("FLEET_SCALE_MIN_SPEEDUP", "2.5"))
-#: Gate applied when the hardware cannot parallelize (CPUs < shards):
-#: a 1-shard run must cost at most this factor of the serial run.
+#: The always-on software gate: one shard's advance + delta-ship +
+#: online scoring may cost at most this factor of serial advance +
+#: in-process sweep.
 MAX_PROTOCOL_OVERHEAD = float(
-    os.environ.get("FLEET_SCALE_MAX_PROTOCOL_OVERHEAD", "1.35")
+    os.environ.get("FLEET_SCALE_MAX_PROTOCOL_OVERHEAD", "1.05")
 )
+#: Streaming bytes-per-window must stay under this fraction of batch.
+MAX_BYTES_RATIO = float(os.environ.get("FLEET_SCALE_MAX_BYTES_RATIO", "0.25"))
+#: The runs feeding *enforced ratios* (serial, 1-shard and
+#: ``SHARDS``-shard streaming) are timed per-window best-of-N: the
+#: simulated week is deterministic, so repeat wall-clocks differ only
+#: by scheduler noise, and the elementwise-minimum window profile is
+#: the robust estimator — a single whole-run timing on a shared host
+#: can swing the ratio +/-15% (and a sustained CPU-steal burst can
+#: poison every window of one whole repeat, which run-level minima
+#: cannot dodge).
+TIMING_REPEATS = int(os.environ.get("FLEET_SCALE_TIMING_REPEATS", "3"))
 
 try:
     CPUS = len(os.sched_getaffinity(0))
@@ -105,87 +136,204 @@ def _configs():
 
 
 def _run_single():
+    """Serial advance + a full snapshot/profile/scan sweep per window."""
     fleet = Fleet()
     for config, seed in _configs():
         fleet.add(Service(config, seed=seed))
-    start = time.perf_counter()
+    per_window = []
+    window_times = []
+    # Collect the previous run's fleet graph now, not mid-measurement:
+    # 2k runtimes of cyclic garbage reaped inside the timed region is
+    # a large source of run-to-run ratio noise.
+    gc.collect()
+    cpu_start = time.process_time()
     for _ in range(WINDOWS):
+        start = time.perf_counter()
         fleet.advance_window(WINDOW)
-    elapsed = time.perf_counter() - start
-    result = LeakProf(threshold=THRESHOLD).daily_run(fleet.all_instances(), now=1.0)
+        profiles = [
+            snapshot_instance(inst).profile()
+            for inst in fleet.all_instances()
+        ]
+        per_window.append(scan_fleet(profiles, threshold=THRESHOLD))
+        window_times.append(time.perf_counter() - start)
+    cpu_seconds = time.process_time() - cpu_start
+    result = LeakProf(threshold=THRESHOLD).daily_run(
+        fleet.all_instances(), now=1.0
+    )
     histories = {name: svc.history for name, svc in fleet.services.items()}
-    return elapsed, histories, result
+    return window_times, cpu_seconds, per_window, histories, result
 
 
-def _run_sharded(shards: int = SHARDS):
-    with ShardedFleet(shards=shards) as fleet:
+def _run_sharded(shards: int, mode: str):
+    """Sharded advance + one suspect query per window.
+
+    Streaming answers the query from the parent's online scorer (no
+    wire traffic); batch ships every full snapshot back and scans.
+    """
+    gc.collect()  # keep prior runs' garbage out of the forked workers
+    with ShardedFleet(shards=shards, mode=mode) as fleet:
         for config, seed in _configs():
             fleet.add_service(config, seed=seed)
         fleet.start()  # worker launch + instance build: not timed, same
         # as single-process construction staying outside its timer
-        start = time.perf_counter()
+        per_window = []
+        window_times = []
+        gc.collect()
+        parent_cpu_start = time.process_time()
         for _ in range(WINDOWS):
+            start = time.perf_counter()
             fleet.advance_window(WINDOW)
-        elapsed = time.perf_counter() - start
-        result = LeakProf(threshold=THRESHOLD).daily_run(fleet.snapshots(), now=1.0)
+            if mode == "streaming":
+                per_window.append(fleet.suspects(threshold=THRESHOLD))
+            else:
+                per_window.append(scan_fleet(
+                    [s.profile() for s in fleet.snapshots()],
+                    threshold=THRESHOLD,
+                ))
+            window_times.append(time.perf_counter() - start)
+        parent_cpu = time.process_time() - parent_cpu_start
+        result = LeakProf(threshold=THRESHOLD).daily_run(
+            fleet.snapshots(), now=1.0
+        )
         histories = {
             name: svc.history for name, svc in fleet.services.items()
         }
-        return elapsed, histories, result
+        run = {
+            "window_times": window_times,
+            "per_window": per_window,
+            "histories": histories,
+            "result": result,
+            "bytes_per_window": fleet.wire_bytes_total / WINDOWS,
+        }
+    # Workers report post-construction CPU seconds in their stop reply
+    # (collected by close()): worker compute + parent compute is the
+    # boundary's true cost, independent of host scheduling.
+    run["cpu_seconds"] = parent_cpu + fleet.worker_cpu_seconds
+    return run
+
+
+def _min_profile(best, times):
+    return times if best is None else [min(a, b) for a, b in zip(best, times)]
 
 
 def test_fleet_scale_sharding():
     total = max(1, INSTANCES // N_SERVICES) * N_SERVICES
-    single_s, single_hist, single_run = _run_single()
-    sharded_s, sharded_hist, sharded_run = _run_sharded()
-    speedup = single_s / sharded_s
 
-    identical = sharded_hist == single_hist
-    suspects_match = (
-        sharded_run.suspects == single_run.suspects
-        and sharded_run.sweep_stats == single_run.sweep_stats
+    # Repeats are *interleaved* (serial, streaming, serial, streaming,
+    # ...), not batched per plane: host load varies on minute scales,
+    # and measuring one plane's repeats back-to-back would let a single
+    # load epoch systematically penalize one side of every enforced
+    # ratio.  Results are asserted identical across repeats, so only
+    # the first repeat's are kept.
+    single_times = None
+    single_cpu = None
+    single_pw = single_hist = single_run = None
+    streaming = {}
+    # The overhead ratio is sampled per repeat from *adjacent* runs (this
+    # repeat's serial CPU against this repeat's 1-shard CPU): even CPU
+    # seconds inflate on an oversubscribed host (steal accounting, cache
+    # thrash from a competing process), but a load epoch spans both runs
+    # of one repeat, so the paired ratio stays honest where a
+    # min-over-repeats numerator against a min-over-repeats denominator
+    # would pair measurements taken under different load.
+    overhead_samples = []
+    for repeat in range(TIMING_REPEATS):
+        times, cpu, pw, hist, run = _run_single()
+        single_times = _min_profile(single_times, times)
+        single_cpu = cpu if single_cpu is None else min(single_cpu, cpu)
+        if repeat == 0:
+            single_pw, single_hist, single_run = pw, hist, run
+        for shards in sorted({1, 2, SHARDS}):
+            if repeat == 0:
+                streaming[shards] = _run_sharded(shards, "streaming")
+                if shards == 1:
+                    overhead_samples.append(
+                        streaming[1]["cpu_seconds"] / cpu
+                    )
+            elif shards in (1, SHARDS):  # only enforced-ratio runs repeat
+                again = _run_sharded(shards, "streaming")
+                streaming[shards]["window_times"] = _min_profile(
+                    streaming[shards]["window_times"],
+                    again["window_times"],
+                )
+                streaming[shards]["cpu_seconds"] = min(
+                    streaming[shards]["cpu_seconds"], again["cpu_seconds"]
+                )
+                if shards == 1:
+                    overhead_samples.append(again["cpu_seconds"] / cpu)
+    single_s = sum(single_times)
+    for run in streaming.values():
+        run["seconds"] = sum(run["window_times"])
+    batch = _run_sharded(SHARDS, "batch")
+    batch["seconds"] = sum(batch["window_times"])
+
+    def _parity(run):
+        return (
+            run["histories"] == single_hist
+            and run["per_window"] == single_pw
+            and run["result"].suspects == single_run.suspects
+            and run["result"].sweep_stats == single_run.sweep_stats
+        )
+
+    parity_by_shards = {
+        str(shards): _parity(run) for shards, run in streaming.items()
+    }
+    batch_parity = _parity(batch)
+
+    speedup = single_s / streaming[SHARDS]["seconds"]
+    # CPU seconds, not wall-clock, best paired sample of N: the overhead
+    # gate is a claim about software work, and the simulated week is
+    # deterministic — repeats differ only by what the host did to them.
+    protocol_overhead = min(overhead_samples)
+    bytes_ratio = (
+        streaming[SHARDS]["bytes_per_window"] / batch["bytes_per_window"]
     )
-
-    protocol_overhead = None
-    one_shard_identical = True
-    if CPUS < SHARDS:
-        # The hardware cannot express parallel speedup; measure the
-        # boundary cost itself instead (and its determinism, again).
-        one_s, one_hist, _one_run = _run_sharded(shards=1)
-        protocol_overhead = one_s / single_s
-        one_shard_identical = one_hist == single_hist
 
     rows = [
         (
             "single process",
             f"{single_s:.2f}s",
-            f"{WINDOWS / single_s:.2f}",
+            "0",
             "reference",
         ),
         (
-            f"{SHARDS}-shard",
-            f"{sharded_s:.2f}s",
-            f"{WINDOWS / sharded_s:.2f}",
-            "identical" if identical else "DIVERGED",
+            f"{SHARDS}-shard batch",
+            f"{batch['seconds']:.2f}s",
+            f"{batch['bytes_per_window'] / 1024:.0f} KiB",
+            "identical" if batch_parity else "DIVERGED",
         ),
-        ("speedup", f"{speedup:.2f}x", "", f"on {CPUS} CPU(s)"),
     ]
-    if protocol_overhead is not None:
+    for shards, run in streaming.items():
         rows.append(
             (
-                "1-shard protocol overhead",
-                f"{protocol_overhead:.2f}x",
-                "",
-                "identical" if one_shard_identical else "DIVERGED",
+                f"{shards}-shard streaming",
+                f"{run['seconds']:.2f}s",
+                f"{run['bytes_per_window'] / 1024:.0f} KiB",
+                "identical" if parity_by_shards[str(shards)] else "DIVERGED",
             )
         )
+    rows.append(("speedup", f"{speedup:.2f}x", "", f"on {CPUS} CPU(s)"))
+    rows.append(
+        (
+            "1-shard protocol overhead",
+            f"{protocol_overhead:.2f}x",
+            "",
+            "CPU seconds",
+        )
+    )
+    rows.append(
+        ("streaming/batch bytes", f"{bytes_ratio:.1%}", "", "per window")
+    )
     print_table(
-        f"Fleet scale-out: {total} instances x {WINDOWS} windows "
-        f"({SHARDS} shards)",
-        ["execution", "wall-clock", "windows/sec", "histories"],
+        f"Fleet scale-out: {total} instances x {WINDOWS} windows, "
+        f"continuous detection ({SHARDS} shards)",
+        ["execution", "wall-clock", "wire/window", "results"],
         rows,
     )
 
+    suspects_identical = (
+        all(parity_by_shards.values()) and batch_parity
+    )
     emit(
         "fleet_scale",
         metric="sharded_speedup",
@@ -199,30 +347,53 @@ def test_fleet_scale_sharding():
         cpus=CPUS,
         threshold=THRESHOLD,
         min_speedup_enforced=MIN_SPEEDUP if CPUS >= SHARDS else None,
-        protocol_overhead_1shard=(
-            round(protocol_overhead, 3) if protocol_overhead else None
-        ),
+        protocol_overhead_1shard=round(protocol_overhead, 3),
+        max_protocol_overhead=MAX_PROTOCOL_OVERHEAD,
         single_process_seconds=round(single_s, 3),
-        sharded_seconds=round(sharded_s, 3),
-        histories_identical=identical,
-        leakprof_suspects_identical=suspects_match,
+        sharded_seconds=round(streaming[SHARDS]["seconds"], 3),
+        batch_seconds=round(batch["seconds"], 3),
+        single_process_cpu_seconds=round(single_cpu, 3),
+        streaming_1shard_cpu_seconds=round(
+            streaming[1]["cpu_seconds"], 3
+        ),
+        protocol_overhead_samples=[
+            round(sample, 3) for sample in overhead_samples
+        ],
+        bytes_per_window={
+            "batch": round(batch["bytes_per_window"]),
+            **{
+                f"streaming_{shards}shard": round(run["bytes_per_window"])
+                for shards, run in streaming.items()
+            },
+        },
+        bytes_ratio_streaming_vs_batch=round(bytes_ratio, 4),
+        max_bytes_ratio=MAX_BYTES_RATIO,
+        histories_identical=all(
+            run["histories"] == single_hist for run in streaming.values()
+        )
+        and batch["histories"] == single_hist,
+        leakprof_suspects_identical=suspects_identical,
+        parity_by_shards=parity_by_shards,
         leak_suspects=len(single_run.suspects),
     )
 
-    assert identical, "N-shard ServiceSample histories diverged from serial"
-    assert suspects_match, "LeakProf results diverged across the shard boundary"
+    for shards, run in streaming.items():
+        assert parity_by_shards[str(shards)], (
+            f"{shards}-shard streaming run diverged from serial"
+        )
+    assert batch_parity, "batch-mode run diverged from serial"
     assert single_run.suspects, "the leaky service produced no suspects"
+    assert bytes_ratio < MAX_BYTES_RATIO, (
+        f"streaming ships {bytes_ratio:.1%} of batch bytes per window "
+        f"(>= {MAX_BYTES_RATIO:.0%}) — the delta plane stopped paying"
+    )
+    assert protocol_overhead <= MAX_PROTOCOL_OVERHEAD, (
+        f"shard boundary costs {protocol_overhead:.2f}x serial "
+        f"(> {MAX_PROTOCOL_OVERHEAD}x) — too expensive to ever "
+        f"reach {MIN_SPEEDUP}x at {SHARDS} workers"
+    )
     if CPUS >= SHARDS:
         assert speedup >= MIN_SPEEDUP, (
             f"sharded run only {speedup:.2f}x faster (< {MIN_SPEEDUP}x) "
             f"at {SHARDS} workers on {CPUS} CPUs"
-        )
-    else:
-        # Not enough cores to express parallelism: gate the boundary
-        # cost instead — on k cores, speedup ~= k / protocol_overhead.
-        assert one_shard_identical, "1-shard history diverged from serial"
-        assert protocol_overhead <= MAX_PROTOCOL_OVERHEAD, (
-            f"shard boundary costs {protocol_overhead:.2f}x serial "
-            f"(> {MAX_PROTOCOL_OVERHEAD}x) — too expensive to ever "
-            f"reach {MIN_SPEEDUP}x at {SHARDS} workers"
         )

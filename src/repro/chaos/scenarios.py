@@ -13,6 +13,10 @@ The invariants are the subsystem contracts, not smoke checks:
 * ``worker_kill`` — a shard worker SIGKILL'd mid-week leaves the
   4-shard ``ServiceSample`` histories and LeakProf suspects
   byte-identical to a fault-free single-process run;
+* ``checkpoint_crash`` — workers SIGKILL'd both right after a
+  checkpoint and mid-delta-ship recover via checkpoint-restore plus a
+  journal tail bounded by the checkpoint cadence, with byte-identical
+  histories and online-scorer suspects;
 * ``poison_profile`` — a parser-crashing archive row is dead-lettered,
   every other tenant still runs, and the second sweep no longer trips;
 * ``sqlite_lock`` — repeated ``database is locked`` failures isolate to
@@ -165,6 +169,95 @@ def worker_kill(seed: int = 0) -> ScenarioResult:
         details={
             "windows": windows,
             "worker_restarts": fleet.worker_restarts,
+            "fired": [r.kind.value for r in schedule.fired],
+        },
+        schedule_json=schedule.to_json(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# checkpoint_crash: restore-then-tail recovery under the streaming plane
+
+
+def checkpoint_crash(seed: int = 0) -> ScenarioResult:
+    """SIGKILL workers around checkpoints; recovery is restore + tail.
+
+    A 2-shard *streaming* fleet checkpoints every 2 windows over a
+    6-window run, so each shard's command sequence is ``init(0),
+    adv(1), adv(2), ckpt(3), adv(4), adv(5), ckpt(6), adv(7), adv(8),
+    ckpt(9)``.  Two pinned kills probe both recovery shapes: shard 1
+    dies at op 4 — the first delta-ship *after* a checkpoint — and
+    shard 0 dies at op 7, mid-week with a checkpoint behind it.  Both
+    respawns must restore from the latest checkpoint and replay only
+    the journal tail (bounded by the cadence, never the whole run),
+    and the parent's materialized views plus online suspect scorer
+    must come out byte-identical to a fault-free single-process week.
+    """
+    from repro.fleet import Fleet, Service, ShardedFleet
+    from repro.leakprof import LeakProf
+
+    windows = 6
+    checkpoint_every = 2
+
+    reference = Fleet()
+    for config, svc_seed in _fleet_configs():
+        reference.add(Service(config, seed=svc_seed + seed))
+    for _ in range(windows):
+        reference.advance_window(3600.0)
+    ref_histories = {n: s.history for n, s in reference.services.items()}
+    ref_result = LeakProf(threshold=20).daily_run(
+        reference.all_instances(), now=1.0
+    )
+
+    schedule = (
+        FaultSchedule(seed=seed)
+        .pin(FaultKind.KILL_WORKER, 1, 4)
+        .pin(FaultKind.KILL_WORKER, 0, 7)
+    )
+    fleet = ShardedFleet(
+        shards=2,
+        chaos=ShardChaos(schedule),
+        worker_deadline=10.0,
+        mode="streaming",
+        checkpoint_every=checkpoint_every,
+    )
+    for config, svc_seed in _fleet_configs():
+        fleet.add_service(config, seed=svc_seed + seed)
+    fleet.start()
+    try:
+        for _ in range(windows):
+            fleet.advance_window(3600.0)
+        histories = {n: s.history for n, s in fleet.services.items()}
+        result = LeakProf(threshold=20).streaming_run(fleet, now=1.0)
+        journal_tails = [len(journal) for journal in fleet._journal]
+    finally:
+        fleet.close()
+
+    return ScenarioResult(
+        name="checkpoint_crash",
+        seed=seed,
+        invariants={
+            "faults_fired": schedule.fired_count(FaultKind.KILL_WORKER) == 2,
+            "workers_respawned": fleet.worker_restarts == 2,
+            "restored_from_checkpoint": fleet.restores_performed == 2,
+            "checkpoints_accepted": fleet.checkpoints_taken
+            == 3 * fleet.num_shards
+            and fleet.checkpoints_declined == 0,
+            "replay_bounded_by_cadence": fleet.replay_lengths != []
+            and max(fleet.replay_lengths) <= checkpoint_every,
+            "journals_truncated": journal_tails == [0, 0],
+            "history_parity": histories == ref_histories,
+            "suspects_parity": result.suspects == ref_result.suspects,
+            "leak_still_visible": any(
+                s.total_blocked_goroutines > 0
+                for s in ref_histories["payments"]
+            ),
+            "no_live_children": fleet.live_workers() == 0,
+        },
+        details={
+            "windows": windows,
+            "checkpoint_every": checkpoint_every,
+            "replay_lengths": list(fleet.replay_lengths),
             "fired": [r.kind.value for r in schedule.fired],
         },
         schedule_json=schedule.to_json(),
@@ -367,6 +460,7 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "sqlite_lock": sqlite_lock,
     "daemon_flake": daemon_flake,
     "worker_kill": worker_kill,
+    "checkpoint_crash": checkpoint_crash,
 }
 
 

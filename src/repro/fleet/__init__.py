@@ -1,5 +1,10 @@
 """Microservice fleet simulator: services, instances, RSS/CPU models."""
 
+from .checkpoint import (
+    CheckpointUnsupported,
+    checkpoint_instance,
+    restore_instance,
+)
 from .cpu import CpuModel, DAY
 from .determinism import aggregate_sample, build_instance, instance_seed
 from .deployment import (
@@ -11,9 +16,11 @@ from .deployment import (
 )
 from .service import InstanceMetrics, ServiceInstance, WINDOW_SECONDS
 from .shard import ShardedFleet, ShardedService
+from .shm import StatPlane
 from .workload import Handler, RequestMix, TrafficShape
 
 __all__ = [
+    "CheckpointUnsupported",
     "CpuModel",
     "DAY",
     "Fleet",
@@ -26,10 +33,13 @@ __all__ = [
     "ServiceInstance",
     "ShardedFleet",
     "ShardedService",
+    "StatPlane",
     "TrafficShape",
     "WINDOW_SECONDS",
     "aggregate_sample",
     "build_instance",
     "capacity_for",
+    "checkpoint_instance",
     "instance_seed",
+    "restore_instance",
 ]

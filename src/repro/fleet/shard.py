@@ -8,10 +8,24 @@ consumes :mod:`repro.snapshot` objects instead of live runtimes,
 instances are free to live anywhere.
 
 :class:`ShardedFleet` partitions a fleet's instances across N worker
-processes.  Windows advance in parallel; workers ship back O(1) stat
-rows per instance (and, on demand, full :class:`InstanceSnapshot`
-batches for LeakProf sweeps).  Deploys, partial deploys, and remedy
-rollouts travel to the owning shards as commands.
+processes.  Windows advance in parallel; what comes back depends on the
+shipping mode:
+
+* ``mode="streaming"`` (default) — the continuous-detection plane.
+  Workers ship **delta snapshots**: only the goroutine records dirtied
+  since the last ship plus tombstones for finished ones
+  (:mod:`repro.snapshot.delta`); the O(1) counters ride a
+  **shared-memory stat plane** (:mod:`repro.fleet.shm`) instead of the
+  pipe; the parent folds deltas into per-instance materialized views
+  (``snapshots()`` never touches a worker) and into an **online suspect
+  scorer** (:mod:`repro.leakprof.streaming`) whose suspect sets are
+  batch-scan identical.  ``resync_every`` adds a periodic anti-entropy
+  full reship; ``checkpoint_every`` bounds crash-replay cost (below).
+* ``mode="batch"`` — the legacy protocol: per-window O(1) stat rows and
+  on-demand full pickled :class:`InstanceSnapshot` batches.
+
+Deploys, partial deploys, and remedy rollouts travel to the owning
+shards as commands in either mode.
 
 Determinism guarantee
 ---------------------
@@ -20,8 +34,10 @@ seeds depend only on (service seed, deploy generation, index) — never on
 shard topology.  The parent re-aggregates per-window samples in index
 order with exactly the arithmetic ``Service.advance_window`` uses, so
 for a fixed seed the ``ServiceSample`` histories of a 1-shard, N-shard,
-and single-process run are byte-identical (tested property-style in
-``tests/test_sharded_fleet.py``).
+and single-process run are byte-identical in both modes (tested
+property-style in ``tests/test_sharded_fleet.py``), and a streaming
+view materializes the same bytes ``snapshot_instance`` would produce
+against the live instance (``tests/test_streaming_delta.py``).
 
 Supervision guarantee
 ---------------------
@@ -37,7 +53,19 @@ re-advanced through the exact windows it had already seen, so the
 respawned shard's state — and therefore the fleet's ``ServiceSample``
 history — is byte-identical to a run where the worker never died.  The
 in-flight command is the journal's last entry (or is re-sent, if it was
-a read), so no window and no snapshot request is ever lost.
+a read), so no window and no snapshot request is ever lost.  Delta
+application is idempotent, so a replayed window folding into an
+already-current view changes nothing.
+
+Checkpointing bounds the replay: every ``checkpoint_every`` full-fleet
+windows the parent asks each worker to serialize its instances
+(:mod:`repro.fleet.checkpoint`); an ``ok`` reply truncates that shard's
+journal, and respawn becomes *restore checkpoint, then replay the
+post-checkpoint tail* — so replay cost after a late-week crash is
+bounded by the cadence, not the uptime (chaos scenario
+``checkpoint_crash``).  Workers whose instances cannot be checkpointed
+exactly (e.g. gc-enabled services) decline, keep their journal, and are
+simply counted.
 
 Fault injection rides the same machinery: ``ShardedFleet(chaos=...)``
 accepts a :class:`repro.chaos.ShardChaos` adapter that can kill the
@@ -49,15 +77,30 @@ every case (chaos-property-tested in ``tests/test_chaos.py``).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.obs.registry import monotonic as _monotonic
 from repro.snapshot import InstanceSnapshot, snapshot_instance
+from repro.snapshot.delta import (
+    DeltaTracker,
+    InstanceStats,
+    InstanceView,
+    WireDelta,
+    instance_stats,
+)
 
+from .checkpoint import (
+    CheckpointUnsupported,
+    checkpoint_instance,
+    restore_instance,
+)
 from .deployment import ServiceConfig, ServiceSample
 from .determinism import aggregate_sample, build_instance as _build_instance
 from .service import ServiceInstance, WINDOW_SECONDS
+from .shm import StatPlane, stats_from_row
 from .workload import RequestMix
 
 # _build_instance is repro.fleet.determinism.build_instance — the same
@@ -72,6 +115,9 @@ from .workload import RequestMix
 #: primitives are the cheapest thing the pickle protocol knows.
 #: Layout: (service, index, t, rss_bytes, blocked, cpu_percent, goroutines)
 _Row = Tuple[str, int, float, int, int, float, int]
+
+#: Commands whose streaming replies carry delta payloads (metric scope).
+_DELTA_COMMANDS = frozenset({"init", "advance", "restart", "resync"})
 
 
 def _stats_row(service: str, index: int, inst: ServiceInstance) -> _Row:
@@ -92,15 +138,82 @@ def _shard_worker(conn) -> None:
     Protocol: the parent sends one tuple, the worker answers with one
     ``(kind, payload)`` tuple — strict lockstep, so a broadcast can send
     to every worker first and then collect, overlapping their compute.
+    The lockstep is also the shared-memory barrier: a worker finishes
+    its in-place stat writes before sending the reply the parent blocks
+    on, so the parent never reads a torn row.
     """
     instances: Dict[Tuple[str, int], ServiceInstance] = {}
     order: List[Tuple[str, int]] = []  # service-add order, then index
+    trackers: Dict[Tuple[str, int], DeltaTracker] = {}
+    streaming = False
+    plane: Optional[StatPlane] = None
+    slots: Dict[Tuple[str, int], int] = {}
+    #: CPU-second anchor taken after init/restore, so the ``stop`` reply
+    #: reports pure post-construction work (advance + ship + pickle) —
+    #: the worker's half of the protocol-overhead accounting.
+    cpu_anchor = 0.0
+
+    def _apply_meta(meta: Dict[str, Any]) -> None:
+        nonlocal streaming, plane, slots
+        streaming = meta.get("mode") == "streaming"
+        slots = meta.get("slots") or {}
+        if plane is not None:
+            plane.close()
+            plane = None
+        shm_name = meta.get("shm")
+        if streaming and shm_name is not None:
+            plane = StatPlane.attach(shm_name)
+
+    def _track(key: Tuple[str, int], tracker: Optional[DeltaTracker] = None):
+        if tracker is None:
+            tracker = DeltaTracker()
+        trackers[key] = tracker
+        instances[key].runtime._delta = tracker
+        return tracker
+
+    def _ship(
+        key: Tuple[str, int], full: bool = False
+    ) -> Optional[WireDelta]:
+        """One instance's wire delta — or None when the stat plane
+        already says everything (no records, tombstones, or gc change),
+        so the reply need not mention the instance at all."""
+        inst = instances[key]
+        slot = slots.get(key)
+        if plane is not None and slot is not None:
+            plane.write_instance(slot, inst)
+            wire_stats: Optional[InstanceStats] = None
+        else:
+            wire_stats = instance_stats(inst)  # fallback: ride the pipe
+        flag, records, tombstones = trackers[key].collect(
+            inst.runtime, full=full
+        )
+        gc = trackers[key].gc_state(inst.runtime, full=full)
+        if (
+            wire_stats is None
+            and not flag
+            and not records
+            and not tombstones
+            and gc is None
+        ):
+            return None
+        return (key[0], key[1], flag, records, tombstones, gc, wire_stats)
+
+    def _delta_reply(keys, full: bool = False) -> Tuple:
+        entries = []
+        for key in keys:
+            entry = _ship(key, full=full)
+            if entry is not None:
+                entries.append(entry)
+        return ("delta", (plane is not None, entries))
+
     try:
         while True:
             msg = conn.recv()
             cmd = msg[0]
             if cmd == "init":
-                for config, seed, deploy_gen, indices, start_time in msg[1]:
+                specs, meta = msg[1], msg[2]
+                _apply_meta(meta)
+                for config, seed, deploy_gen, indices, start_time in specs:
                     for index in indices:
                         key = (config.name, index)
                         instances[key] = _build_instance(
@@ -108,40 +221,102 @@ def _shard_worker(conn) -> None:
                             config.mix, start_time,
                         )
                         order.append(key)
-                rows = [
-                    _stats_row(svc, idx, instances[(svc, idx)])
-                    for svc, idx in order
-                ]
-                conn.send(("rows", rows))
+                        if streaming:
+                            _track(key)
+                if streaming:
+                    conn.send(_delta_reply(order, full=True))
+                else:
+                    rows = [
+                        _stats_row(svc, idx, instances[(svc, idx)])
+                        for svc, idx in order
+                    ]
+                    conn.send(("rows", rows))
+                cpu_anchor = time.process_time()
             elif cmd == "advance":
                 window, only = msg[1], msg[2]
-                rows = []
-                for svc, idx in order:
-                    if only is not None and svc != only:
-                        continue
-                    sample = instances[(svc, idx)].advance_window(window)
-                    rows.append(
-                        (
-                            svc,
-                            idx,
-                            sample.t,
-                            sample.rss_bytes,
-                            sample.blocked_goroutines,
-                            sample.cpu_percent,
-                            sample.goroutines,
+                if streaming:
+                    advanced: List[Tuple[str, int]] = []
+                    for key in order:
+                        if only is not None and key[0] != only:
+                            continue
+                        instances[key].advance_window(window)
+                        advanced.append(key)
+                    conn.send(_delta_reply(advanced))
+                else:
+                    rows = []
+                    for svc, idx in order:
+                        if only is not None and svc != only:
+                            continue
+                        sample = instances[(svc, idx)].advance_window(window)
+                        rows.append(
+                            (
+                                svc,
+                                idx,
+                                sample.t,
+                                sample.rss_bytes,
+                                sample.blocked_goroutines,
+                                sample.cpu_percent,
+                                sample.goroutines,
+                            )
                         )
-                    )
-                conn.send(("rows", rows))
+                    conn.send(("rows", rows))
             elif cmd == "restart":
                 _cmd, config, seed, deploy_gen, indices, mix, start_time = msg
-                rows = []
+                restarted: List[Tuple[str, int]] = []
                 for index in indices:
+                    key = (config.name, index)
                     inst = _build_instance(
                         config, seed, deploy_gen, index, mix, start_time
                     )
-                    instances[(config.name, index)] = inst
-                    rows.append(_stats_row(config.name, index, inst))
-                conn.send(("rows", rows))
+                    instances[key] = inst
+                    restarted.append(key)
+                    if streaming:
+                        _track(key)  # fresh tracker: restart ships full
+                if streaming:
+                    conn.send(_delta_reply(restarted, full=True))
+                else:
+                    conn.send(
+                        ("rows",
+                         [_stats_row(svc, idx, instances[(svc, idx)])
+                          for svc, idx in restarted])
+                    )
+            elif cmd == "resync":
+                # Anti-entropy: reship everything, tracker state included.
+                conn.send(_delta_reply(order, full=True))
+            elif cmd == "checkpoint":
+                try:
+                    entries = []
+                    for key in order:
+                        tracker = trackers.get(key)
+                        if tracker is not None and (
+                            tracker.dirty or tracker.finished
+                        ):  # pragma: no cover - lockstep makes this unreachable
+                            raise CheckpointUnsupported(
+                                f"unshipped deltas for {key[0]}/i-{key[1]}"
+                            )
+                        entries.append((
+                            key[0], key[1],
+                            checkpoint_instance(instances[key]),
+                            tuple(sorted(tracker.shipped)) if tracker else (),
+                            tracker.gc_sweeps if tracker else 0,
+                        ))
+                    conn.send(("checkpoint", {"ok": True, "entries": entries}))
+                except CheckpointUnsupported as exc:
+                    conn.send(("checkpoint", {"ok": False, "reason": str(exc)}))
+            elif cmd == "restore":
+                state, meta = msg[1], msg[2]
+                _apply_meta(meta)
+                instances.clear()
+                order.clear()
+                trackers.clear()
+                for svc, idx, blob, shipped, gc_sweeps in state["entries"]:
+                    key = (svc, idx)
+                    instances[key] = restore_instance(blob)
+                    order.append(key)
+                    if streaming:
+                        _track(key, DeltaTracker(shipped, gc_sweeps))
+                conn.send(("ok", None))
+                cpu_anchor = time.process_time()
             elif cmd == "snapshots":
                 only = msg[1]
                 snaps = [
@@ -151,12 +326,15 @@ def _shard_worker(conn) -> None:
                 ]
                 conn.send(("snaps", snaps))
             elif cmd == "stop":
-                conn.send(("ok", None))
+                conn.send(("ok", time.process_time() - cpu_anchor))
                 return
             else:  # pragma: no cover - protocol guard
                 conn.send(("error", f"unknown command {cmd!r}"))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
         return
+    finally:
+        if plane is not None:
+            plane.close()
 
 
 class _InstanceMirror:
@@ -272,7 +450,7 @@ class ShardedService:
         return self.history[-1]
 
     def snapshots(self) -> List[InstanceSnapshot]:
-        """Ship this service's instance snapshots back from the shards."""
+        """This service's instance snapshots (local views when streaming)."""
         return self._fleet.snapshots(service=self.config.name)
 
     def profiles(self):
@@ -295,8 +473,12 @@ class _WorkerFault(Exception):
 
 
 #: Commands that mutate worker state and therefore must be journaled.
-#: ``snapshots`` is a pure read (re-sent, not replayed, after a respawn)
-#: and ``stop`` is terminal.
+#: ``snapshots`` is a pure read (re-sent, not replayed, after a respawn);
+#: ``resync``/``checkpoint`` are reads of worker state (re-sent the same
+#: way — a resync reply is authoritative whenever it arrives, and a
+#: checkpoint re-taken after replay captures the identical state);
+#: ``restore`` is injected by the supervisor outside the journal; and
+#: ``stop`` is terminal.
 _MUTATING = frozenset({"init", "advance", "restart"})
 
 
@@ -309,12 +491,25 @@ class ShardedFleet:
             payments = fleet.add_service(config, seed=1)
             fleet.start()
             fleet.run_days(7.0)
+            suspects = fleet.suspects(threshold=10_000)   # streaming: O(1) wire
             result = leakprof.daily_run(fleet.snapshots(), now=1.0)
 
     ``add_service`` must happen before ``start``; deploys and partial
     deploys work any time after.  Instances are assigned round-robin
     across shards in (service add order, index) order — the assignment
     affects only wall-clock balance, never results.
+
+    Streaming knobs (``mode="streaming"``, the default):
+
+    * ``checkpoint_every`` — full-fleet windows between worker
+      checkpoints (0 = off).  A successful checkpoint truncates that
+      shard's journal, bounding crash-replay cost.
+    * ``resync_every`` — windows between anti-entropy full reships
+      (0 = off).  The delta protocol is exact, so resync is a
+      belt-and-braces defense, not a correctness requirement.
+    * ``use_shm`` — allow the shared-memory stat plane (on by default;
+      both creation and worker attachment degrade to shipping the
+      counter block inline on failure).
 
     Supervision knobs:
 
@@ -335,10 +530,20 @@ class ShardedFleet:
         chaos: Optional[Any] = None,
         worker_deadline: float = 30.0,
         max_respawns: int = 8,
+        mode: str = "streaming",
+        checkpoint_every: int = 0,
+        resync_every: int = 0,
+        use_shm: bool = True,
     ):
         if shards < 1:
             raise ValueError("need at least one shard")
+        if mode not in ("streaming", "batch"):
+            raise ValueError(f"unknown mode {mode!r}")
         self.num_shards = shards
+        self.mode = mode
+        self.checkpoint_every = checkpoint_every
+        self.resync_every = resync_every
+        self._use_shm = use_shm
         self.services: Dict[str, ShardedService] = {}
         self._conns: List[Any] = [None] * shards
         self._procs: List[Optional[multiprocessing.Process]] = [None] * shards
@@ -349,10 +554,47 @@ class ShardedFleet:
         self.worker_deadline = worker_deadline
         self.max_respawns = max_respawns
         self.worker_restarts = 0
-        #: per shard: every mutating command since start(), replay-ready.
+        #: per shard: every mutating command since the last checkpoint
+        #: (since start() when checkpointing is off), replay-ready.
         self._journal: List[List[Tuple]] = [[] for _ in range(shards)]
         #: per shard: outbound command ordinal (the chaos hook coordinate).
         self._op_index: List[int] = [0] * shards
+        #: per shard: the latest accepted checkpoint reply (restore base).
+        self._checkpoints: List[Optional[Dict[str, Any]]] = [None] * shards
+        # -- streaming state -------------------------------------------
+        #: (service, index) -> parent-side materialized view.
+        self._views: Dict[Tuple[str, int], InstanceView] = {}
+        self._stat_plane: Optional[StatPlane] = None
+        self._slots: Dict[Tuple[str, int], int] = {}
+        self._key_shard: Dict[Tuple[str, int], int] = {}
+        #: per shard: did its last delta reply confirm the stat plane?
+        #: Until then (and whenever attachment failed) its stats ride
+        #: the wire and the parent must not trust that shard's rows.
+        self._shard_attached: List[bool] = [False] * shards
+        self.scorer = None
+        if mode == "streaming":
+            # Deferred import: repro.leakprof is a downstream consumer
+            # of repro.fleet in several modules; binding at construction
+            # time keeps module import order acyclic.
+            from repro.leakprof.streaming import OnlineSuspectScorer
+
+            self.scorer = OnlineSuspectScorer()
+        # -- accounting ------------------------------------------------
+        self.wire_bytes_total = 0
+        self.wire_bytes_by_command: Dict[str, int] = {}
+        self.full_resyncs = 0
+        self.checkpoints_taken = 0
+        self.checkpoints_declined = 0
+        self.restores_performed = 0
+        #: Post-construction CPU seconds the workers reported at stop —
+        #: the worker half of the boundary's compute-cost accounting
+        #: (populated by ``close()``; partial if workers died unclean).
+        self.worker_cpu_seconds = 0.0
+        #: journal length at each respawn (bounded by checkpoint cadence).
+        self.replay_lengths: List[int] = []
+        self._windows_advanced = 0
+        self._last_recv_nbytes = 0
+        self._last_exchange_nbytes: List[int] = []
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -370,14 +612,17 @@ class ShardedFleet:
             shard = self._next_ordinal % self.num_shards
             self._next_ordinal += 1
             service.shard_of.append(shard)
+            name = f"{config.name}/i-{index}"
             service.instances.append(
-                _InstanceMirror(
-                    name=f"{config.name}/i-{index}",
-                    mix=config.mix,
-                    shard=shard,
-                    t=0.0,
-                )
+                _InstanceMirror(name=name, mix=config.mix, shard=shard, t=0.0)
             )
+            if self.mode == "streaming":
+                key = (config.name, index)
+                self._slots[key] = len(self._slots)
+                self._key_shard[key] = shard
+                self._views[key] = InstanceView(
+                    config.name, index, name, config.base_rss
+                )
         self.services[config.name] = service
         return service
 
@@ -392,11 +637,32 @@ class ShardedFleet:
         self._conns[shard] = parent_conn
         self._procs[shard] = proc
 
+    def _worker_meta(self, shard: int) -> Dict[str, Any]:
+        """The shipping-mode metadata one worker needs (init/restore)."""
+        if self.mode != "streaming":
+            return {"mode": self.mode}
+        slots: Dict[Tuple[str, int], int] = {}
+        for service in self.services.values():
+            for index, owner in enumerate(service.shard_of):
+                if owner == shard:
+                    key = (service.config.name, index)
+                    slots[key] = self._slots[key]
+        return {
+            "mode": "streaming",
+            "shm": (
+                self._stat_plane.name
+                if self._stat_plane is not None else None
+            ),
+            "slots": slots,
+        }
+
     def start(self) -> "ShardedFleet":
         """Launch the workers and build every instance remotely."""
         if self._started:
             return self
         self._started = True
+        if self.mode == "streaming" and self._use_shm:
+            self._stat_plane = StatPlane.create(self._next_ordinal)
         for shard in range(self.num_shards):
             self._spawn(shard)
         specs: List[List[Tuple]] = [[] for _ in range(self.num_shards)]
@@ -409,8 +675,11 @@ class ShardedFleet:
                     (service.config, service.seed, service.deploys,
                      indices, 0.0)
                 )
-        rows = self._broadcast([("init", spec) for spec in specs])
-        self._apply_rows(rows)
+        shards = list(range(self.num_shards))
+        self._ingest(self._exchange([
+            (shard, ("init", specs[shard], self._worker_meta(shard)))
+            for shard in shards
+        ]), shards)
         for service in self.services.values():
             service.deploys += 1  # matches Service._start_instances
         return self
@@ -438,7 +707,14 @@ class ShardedFleet:
                 continue
             try:
                 if conn.poll(1.0):
-                    conn.recv()
+                    reply = conn.recv()
+                    if (
+                        isinstance(reply, tuple)
+                        and len(reply) == 2
+                        and reply[0] == "ok"
+                        and isinstance(reply[1], float)
+                    ):
+                        self.worker_cpu_seconds += reply[1]
             except (EOFError, OSError):
                 continue
         for proc in procs:
@@ -456,6 +732,9 @@ class ShardedFleet:
         for conn in self._conns:
             if conn is not None:
                 conn.close()
+        if self._stat_plane is not None:
+            self._stat_plane.close()
+            self._stat_plane = None
 
     def live_workers(self) -> int:
         """How many worker processes are currently alive (0 after close)."""
@@ -486,6 +765,8 @@ class ShardedFleet:
         for shard, message in pairs:
             self._send(shard, message)
         payloads: List[Any] = []
+        nbytes_list: List[int] = []
+        reg = obs.default_registry()
         for shard, message in pairs:
             deadline = _monotonic() + self.worker_deadline
             try:
@@ -495,6 +776,23 @@ class ShardedFleet:
                     shard, message, reason=fault.reason
                 )
             payloads.append(payload)
+            nbytes = self._last_recv_nbytes
+            nbytes_list.append(nbytes)
+            command = message[0]
+            self.wire_bytes_by_command[command] = (
+                self.wire_bytes_by_command.get(command, 0) + nbytes
+            )
+            if (
+                reg.enabled
+                and self.mode == "streaming"
+                and command in _DELTA_COMMANDS
+            ):
+                reg.counter(
+                    "repro_fleet_delta_bytes_total",
+                    "Bytes of delta-snapshot replies received from shard "
+                    "workers",
+                ).inc(nbytes)
+        self._last_exchange_nbytes = nbytes_list
         return payloads
 
     def _send(self, shard: int, message: Tuple) -> None:
@@ -534,20 +832,24 @@ class ShardedFleet:
     def _recv(self, shard: int, deadline: float) -> Tuple[str, Any]:
         """Poll-with-deadline reply collection — never a blocking recv.
 
-        Raises :class:`_WorkerFault` on pipe EOF, worker death, deadline
-        expiry, or an ``error`` reply (a worker that answered garbage is
-        as untrustworthy as a dead one; replay rebuilds it from scratch).
+        Receives raw bytes (for exact wire accounting) and unpickles
+        here — ``Connection.recv()`` is precisely this two-step.  Raises
+        :class:`_WorkerFault` on pipe EOF, worker death, deadline
+        expiry, an undecodable reply, or an ``error`` reply (a worker
+        that answered garbage is as untrustworthy as a dead one; replay
+        rebuilds it from scratch).
         """
         conn = self._conns[shard]
         while True:
             try:
-                if conn.poll(0.05):
-                    kind, payload = conn.recv()
-                    if kind == "error":
-                        raise _WorkerFault(
-                            shard, f"worker error reply: {payload!r}"
-                        )
-                    return kind, payload
+                # A generous poll quantum: data arrival (and pipe EOF
+                # from a dying worker) wakes the select immediately, so
+                # the quantum only bounds how often an *idle* parent
+                # wakes to run the liveness/deadline checks — and on a
+                # loaded single-CPU host every spurious parent wake
+                # preempts the worker mid-window.
+                if conn.poll(0.25):
+                    return self._decode(shard, conn.recv_bytes())
             except (EOFError, BrokenPipeError, OSError):
                 raise _WorkerFault(shard, "pipe EOF (worker died)")
             proc = self._procs[shard]
@@ -555,10 +857,8 @@ class ShardedFleet:
                 # One last drain: the reply may have beaten the death.
                 try:
                     if conn.poll(0.05):
-                        kind, payload = conn.recv()
-                        if kind != "error":
-                            return kind, payload
-                except (EOFError, BrokenPipeError, OSError):
+                        return self._decode(shard, conn.recv_bytes())
+                except (EOFError, BrokenPipeError, OSError, _WorkerFault):
                     pass
                 raise _WorkerFault(shard, "worker process dead")
             if _monotonic() > deadline:
@@ -566,6 +866,17 @@ class ShardedFleet:
                     shard,
                     f"no reply within worker_deadline={self.worker_deadline}s",
                 )
+
+    def _decode(self, shard: int, buf: bytes) -> Tuple[str, Any]:
+        self.wire_bytes_total += len(buf)
+        self._last_recv_nbytes = len(buf)
+        try:
+            kind, payload = pickle.loads(buf)
+        except Exception:
+            raise _WorkerFault(shard, "undecodable reply") from None
+        if kind == "error":
+            raise _WorkerFault(shard, f"worker error reply: {payload!r}")
+        return kind, payload
 
     def _recv_replay(self, shard: int) -> Tuple[str, Any]:
         """Reply collection during journal replay: fail hard, no recursion."""
@@ -583,16 +894,19 @@ class ShardedFleet:
     ) -> Tuple[str, Any]:
         """Heal one dead/wedged shard and return the in-flight reply.
 
-        A fresh worker process replays the shard's journal — rebuilding
-        every instance through ``build_instance`` and re-advancing it
-        through every window it had already seen, which reproduces
-        byte-identical state because instances are pure functions of
-        (seed, command sequence).  When the in-flight command was
+        A fresh worker process restores the shard's latest checkpoint
+        (when one exists) and replays the journal tail — rebuilding
+        every instance and re-advancing it through the exact windows it
+        had already seen, which reproduces byte-identical state because
+        instances are pure functions of (seed, command sequence).  With
+        ``checkpoint_every`` set, the tail replayed here is bounded by
+        the cadence, not the uptime.  When the in-flight command was
         mutating it *is* the journal's last entry, so the final replay
-        reply is the in-flight reply; a read (``snapshots``) is simply
-        re-sent afterwards.  Chaos is **not** consulted during replay
-        and replay does not advance ``op_index`` — fault coordinates
-        stay a pure function of the logical command sequence.
+        reply is the in-flight reply; a read (``snapshots``/``resync``/
+        ``checkpoint``) is simply re-sent afterwards.  Chaos is **not**
+        consulted during replay and replay does not advance
+        ``op_index`` — fault coordinates stay a pure function of the
+        logical command sequence.
         """
         self.worker_restarts += 1
         if self.worker_restarts > self.max_respawns:
@@ -624,11 +938,22 @@ class ShardedFleet:
             if conn is not None:
                 conn.close()
             self._spawn(shard)
+            checkpoint = self._checkpoints[shard]
+            if checkpoint is not None:
+                self._conns[shard].send(
+                    ("restore", checkpoint, self._worker_meta(shard))
+                )
+                self._recv_replay(shard)
+                self.restores_performed += 1
+            self.replay_lengths.append(len(self._journal[shard]))
             last: Optional[Tuple[str, Any]] = None
             for entry in self._journal[shard]:
                 self._conns[shard].send(entry)
                 last = self._recv_replay(shard)
-            span.attributes.update(replayed=len(self._journal[shard]))
+            span.attributes.update(
+                replayed=len(self._journal[shard]),
+                restored=checkpoint is not None,
+            )
             if message[0] in _MUTATING:
                 if last is None:  # pragma: no cover - journal invariant
                     raise RuntimeError(
@@ -639,26 +964,125 @@ class ShardedFleet:
             self._conns[shard].send(message)
             return self._recv_replay(shard)
 
-    def _broadcast(self, messages: List[Tuple]) -> List[_Row]:
-        """Send one message per worker; flatten every worker's rows."""
-        rows: List[_Row] = []
-        for payload in self._exchange(list(enumerate(messages))):
-            rows.extend(payload)
-        return rows
+    def _ingest(self, payloads: List[Any], shards: List[int]) -> None:
+        """Fold one exchange's per-shard payloads into parent state.
+
+        ``shards`` aligns with ``payloads`` — which worker each payload
+        came from, so streaming ingest knows whose stat-plane rows just
+        became current.
+        """
+        if self.mode == "streaming":
+            wire_fed: set = set()
+            for shard, payload in zip(shards, payloads):
+                self._apply_deltas(shard, payload, wire_fed)
+            self._refresh_stats(wire_fed)
+        else:
+            rows: List[_Row] = []
+            for payload in payloads:
+                rows.extend(payload)
+            self._apply_rows(rows)
 
     def _apply_rows(self, rows: List[_Row]) -> None:
         services = self.services
         for row in rows:
             services[row[0]].instances[row[1]].apply(row)
 
+    def _apply_deltas(
+        self, shard: int, payload: Tuple[bool, List[WireDelta]],
+        wire_fed: set,
+    ) -> None:
+        """Fold one worker's delta batch into views, scorer, mirrors.
+
+        Entries carrying inline stats (the no-shm fallback) update their
+        view and mirror here and are added to ``wire_fed``; plane-backed
+        stats are left to the :meth:`_refresh_stats` sweep that follows
+        the whole exchange.
+        """
+        scorer = self.scorer
+        attached, deltas = payload
+        self._shard_attached[shard] = attached
+        total_records = 0
+        for delta in deltas:
+            svc, idx, full, records, tombstones, _gc, wire_stats = delta
+            key = (svc, idx)
+            view = self._views[key]
+            if full:
+                scorer.reset_instance(key)
+            view.apply(delta, stats=wire_stats)
+            for template, blocked_since in records:
+                scorer.on_record(key, template, blocked_since)
+            for gid in tombstones:
+                scorer.on_tombstone(key, gid)
+            total_records += len(records)
+            if wire_stats is not None:
+                wire_fed.add(key)
+                self.services[svc].instances[idx].apply((
+                    svc, idx, wire_stats.t, wire_stats.rss_bytes,
+                    wire_stats.blocked, wire_stats.cpu_percent,
+                    wire_stats.goroutines,
+                ))
+        reg = obs.default_registry()
+        if reg.enabled and deltas:
+            reg.counter(
+                "repro_fleet_delta_goroutines_total",
+                "Goroutine records shipped in delta snapshots",
+            ).inc(total_records)
+
+    def _refresh_stats(self, wire_fed: set) -> None:
+        """Sweep the shared stat plane into views and mirrors.
+
+        Workers write every instance's counter row in-place each ship,
+        so after an exchange the plane is authoritative for every key on
+        an attached shard; re-reading a row an exchange didn't touch is
+        idempotent.  Keys already fed inline (``wire_fed``) and keys on
+        unattached shards are skipped — their truth rides the wire.
+        """
+        plane = self._stat_plane
+        if plane is None or not any(self._shard_attached):
+            return
+        views = self._views
+        services = self.services
+        attached = self._shard_attached
+        key_shard = self._key_shard
+        read_row = plane.read_row
+        for key, slot in self._slots.items():
+            if not attached[key_shard[key]] or key in wire_fed:
+                continue
+            # Copy the row out now; build the InstanceStats only if a
+            # snapshot or suspect query ever asks for this instance.
+            row = read_row(slot)
+            views[key].defer_stats(lambda row=row: stats_from_row(row))
+            svc, idx = key
+            mirror = services[svc].instances[idx]
+            mirror.t = row[0]
+            mirror.cpu_percent = row[1]
+            mirror.rss_bytes = row[2]
+            mirror.blocked = row[3]
+            mirror.goroutines = row[4]
+
     def _advance(self, window: float, only: Optional[str] = None) -> None:
-        rows = self._broadcast(
-            [("advance", window, only)] * self.num_shards
-        )
-        self._apply_rows(rows)
+        shards = list(range(self.num_shards))
+        self._ingest(self._exchange([
+            (shard, ("advance", window, only)) for shard in shards
+        ]), shards)
         for service in self.services.values():
             if only is None or service.config.name == only:
                 self._sample(service)
+        if self.scorer is not None:
+            self.scorer.end_window()
+        if only is None:
+            self._windows_advanced += 1
+            if (
+                self.checkpoint_every
+                and self._windows_advanced % self.checkpoint_every == 0
+            ):
+                self.checkpoint()
+            if (
+                self.mode == "streaming"
+                and self.resync_every
+                and self._windows_advanced % self.resync_every == 0
+            ):
+                self.resync()
 
     def _sample(self, service: ShardedService) -> ServiceSample:
         """Aggregate one window's sample over index-ordered mirrors.
@@ -690,17 +1114,113 @@ class ShardedFleet:
         by_shard: Dict[int, List[int]] = {}
         for index in indices:
             by_shard.setdefault(service.shard_of[index], []).append(index)
-        payloads = self._exchange(
+        self._ingest(self._exchange(
             [
                 (shard, ("restart", service.config, service.seed,
                          service.deploys, shard_indices, mix, start_time))
                 for shard, shard_indices in by_shard.items()
             ]
-        )
-        for rows in payloads:
-            self._apply_rows(rows)
+        ), list(by_shard))
         for index in indices:
             service.instances[index].mix = mix
+
+    # -- the streaming plane -------------------------------------------------
+
+    def resync(self) -> None:
+        """Anti-entropy: reship every instance's full state into the views.
+
+        The delta protocol is exact, so this is defense in depth (and
+        the recovery story for any future non-determinism bug), not a
+        correctness requirement.  Counted in ``full_resyncs`` and the
+        ``repro_fleet_full_resync_total`` metric.
+        """
+        if self.mode != "streaming":
+            raise RuntimeError("resync requires mode='streaming'")
+        shards = list(range(self.num_shards))
+        self._ingest(self._exchange([
+            (shard, ("resync", None)) for shard in shards
+        ]), shards)
+        self.full_resyncs += 1
+        reg = obs.default_registry()
+        if reg.enabled:
+            reg.counter(
+                "repro_fleet_full_resync_total",
+                "Anti-entropy full snapshot resyncs performed",
+            ).inc()
+
+    def checkpoint(self) -> int:
+        """Checkpoint every worker; truncate journals that succeeded.
+
+        Returns how many shards accepted.  A shard whose instances
+        cannot be serialized exactly (see
+        :class:`repro.fleet.checkpoint.CheckpointUnsupported`) declines;
+        its journal keeps growing and ``checkpoints_declined`` counts it.
+        """
+        reg = obs.default_registry()
+        started = _monotonic()
+        with obs.default_tracer().span(
+            "fleet.checkpoint", shards=self.num_shards
+        ) as span:
+            payloads = self._exchange([
+                (shard, ("checkpoint",)) for shard in range(self.num_shards)
+            ])
+            taken = 0
+            for shard, payload in enumerate(payloads):
+                if isinstance(payload, dict) and payload.get("ok"):
+                    self._checkpoints[shard] = payload
+                    self._journal[shard].clear()
+                    taken += 1
+                    self.checkpoints_taken += 1
+                    if reg.enabled:
+                        reg.histogram(
+                            "repro_fleet_checkpoint_bytes",
+                            "Serialized size of one shard checkpoint",
+                            ("shard",),
+                            buckets=(
+                                1 << 10, 1 << 12, 1 << 14, 1 << 16,
+                                1 << 18, 1 << 20, 1 << 22,
+                            ),
+                        ).labels(str(shard)).observe(
+                            self._last_exchange_nbytes[shard]
+                        )
+                else:
+                    self.checkpoints_declined += 1
+            span.attributes.update(
+                taken=taken, declined=self.num_shards - taken
+            )
+            if reg.enabled:
+                reg.histogram(
+                    "repro_fleet_checkpoint_seconds",
+                    "Wall-clock duration of one fleet-wide checkpoint",
+                ).observe(_monotonic() - started)
+            return taken
+
+    def suspects(
+        self,
+        threshold: Optional[int] = None,
+        apply_transient_filter: bool = True,
+    ):
+        """The current LeakProf suspect set from the online scorer.
+
+        O(signatures) parent-side work and zero wire traffic — and
+        list-equal to ``scan_fleet`` over ``snapshots()`` profiles
+        (the parity the streaming plane is gated on).
+        """
+        if self.mode != "streaming":
+            raise RuntimeError("online scoring requires mode='streaming'")
+        from repro.leakprof.detector import DEFAULT_THRESHOLD
+
+        keys = [
+            (name, index)
+            for name, service in self.services.items()
+            for index in range(len(service.instances))
+        ]
+        return self.scorer.suspects(
+            self._views,
+            keys,
+            threshold=DEFAULT_THRESHOLD if threshold is None else threshold,
+            apply_transient_filter=apply_transient_filter,
+        )
 
     # -- the Fleet-compatible surface ----------------------------------------
 
@@ -727,9 +1247,18 @@ class ShardedFleet:
     def snapshots(
         self, service: Optional[str] = None
     ) -> List[InstanceSnapshot]:
-        """Ship every instance's snapshot back, in the same (service-add,
-        index) order ``Fleet.all_instances()`` yields — so a LeakProf
-        daily run over a sharded fleet sees byte-identical input."""
+        """Every instance's snapshot, in the same (service-add, index)
+        order ``Fleet.all_instances()`` yields — so a LeakProf daily run
+        over a sharded fleet sees byte-identical input.  Streaming mode
+        materializes them from the parent-side views — zero wire
+        traffic; batch mode ships full pickled snapshots back."""
+        if self.mode == "streaming":
+            return [
+                self._views[(name, index)].snapshot()
+                for name, svc in self.services.items()
+                if service is None or name == service
+                for index in range(len(svc.instances))
+            ]
         collected: List[Tuple[str, int, InstanceSnapshot]] = []
         for payload in self._exchange(
             [(shard, ("snapshots", service))

@@ -1,0 +1,150 @@
+"""Shared-memory stat plane for the sharded fleet.
+
+The O(1) per-instance counters (clock, RSS, blocked/goroutine counts,
+state census, request tallies) stop transiting pipes entirely: workers
+write them in-place into a fixed-layout ``multiprocessing.shared_memory``
+segment and the parent reads them lock-free.  The fleet's strict
+lockstep protocol is the memory barrier — a worker always finishes its
+in-place writes before sending the (tiny) delta reply the parent blocks
+on, so the parent never observes a torn row.
+
+Layout: one fixed-size row per fleet instance (slot order is assigned by
+the parent at ``start()`` and shipped to workers in the init metadata).
+Each row is ``_ROW`` — two doubles (clock, cpu%) plus integer counters
+plus the full :class:`~repro.runtime.GoroutineState` census array.
+
+Creation and attachment degrade gracefully: on hosts where POSIX shared
+memory is unavailable (or attachment fails in a worker), callers fall
+back to shipping :class:`~repro.snapshot.delta.InstanceStats` inline in
+the delta reply — same bytes-on-wire as a stat row, still far smaller
+than a pickled snapshot.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+from repro.runtime import GoroutineState
+from repro.snapshot.delta import InstanceStats
+
+_STATES = tuple(GoroutineState)
+_STATE_VALUES = tuple(state.value for state in _STATES)
+#: t, cpu_percent (doubles) then rss, blocked, goroutines,
+#: requests_window, requests_total, steps, windows, census[...]
+_ROW = struct.Struct("=ddqqqqqqq" + "q" * len(_STATES))
+
+ROW_BYTES = _ROW.size
+
+
+def stats_from_row(row: Tuple) -> InstanceStats:
+    """Materialize one unpacked stat row into an :class:`InstanceStats`."""
+    (t, cpu_percent, rss_bytes, blocked, goroutines,
+     requests_window, requests_total, steps, windows) = row[:9]
+    return InstanceStats(
+        t=t, rss_bytes=rss_bytes, blocked=blocked,
+        cpu_percent=cpu_percent, goroutines=goroutines,
+        requests_window=requests_window, requests_total=requests_total,
+        steps=steps, windows=windows,
+        census=tuple(
+            (value, count)
+            for value, count in zip(_STATE_VALUES, row[9:])
+            if count
+        ),
+    )
+
+
+class StatPlane:
+    """A fixed grid of per-instance counter rows in shared memory."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def create(cls, slots: int) -> Optional["StatPlane"]:
+        """Allocate a plane for ``slots`` instances (None on failure)."""
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, slots) * ROW_BYTES
+            )
+        except (OSError, ValueError):
+            return None
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> Optional["StatPlane"]:
+        """Attach to the parent's plane from a worker (None on failure)."""
+        try:
+            try:
+                shm = shared_memory.SharedMemory(name=name, track=False)
+            except TypeError:
+                # Python < 3.13: no track kwarg.  The attach registers
+                # the name a second time with the resource tracker the
+                # worker shares with the parent — a set add, collapsed
+                # with the parent's own registration, which the parent's
+                # unlink() at close cleanly retires.
+                shm = shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError, FileNotFoundError):
+            return None
+        return cls(shm, owner=False)
+
+    def write(self, slot: int, stats: InstanceStats) -> None:
+        census = [0] * len(_STATES)
+        lookup = dict(stats.census)
+        for i, value in enumerate(_STATE_VALUES):
+            census[i] = lookup.get(value, 0)
+        _ROW.pack_into(
+            self._shm.buf, slot * ROW_BYTES,
+            stats.t, stats.cpu_percent, stats.rss_bytes, stats.blocked,
+            stats.goroutines, stats.requests_window, stats.requests_total,
+            stats.steps, stats.windows, *census,
+        )
+
+    def write_instance(self, slot: int, instance) -> None:
+        """Pack one live instance's counters straight into its row.
+
+        The worker hot path: equivalent to
+        ``write(slot, instance_stats(instance))`` without building the
+        intermediate :class:`InstanceStats` (and its census tuple) for
+        every instance every window.
+        """
+        runtime = instance.runtime
+        metrics = instance.metrics
+        census = runtime.state_census()
+        _ROW.pack_into(
+            self._shm.buf, slot * ROW_BYTES,
+            runtime.now, instance.cpu_utilization(), instance.rss(),
+            runtime.blocked_goroutines_count, runtime.num_goroutines,
+            metrics[-1].requests_served if metrics else 0,
+            instance.requests_served, runtime.steps, len(metrics),
+            *(census.get(state, 0) for state in _STATES),
+        )
+
+    def read(self, slot: int) -> InstanceStats:
+        return stats_from_row(self.read_row(slot))
+
+    def read_row(self, slot: int) -> Tuple:
+        """One raw unpacked row — the cheap read for hot sweeps.
+
+        Copies the row out of shared memory *now*; turning it into an
+        :class:`InstanceStats` (``stats_from_row``) can happen lazily,
+        after the worker has moved on, without racing it.
+        """
+        return _ROW.unpack_from(self._shm.buf, slot * ROW_BYTES)
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass

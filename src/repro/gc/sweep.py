@@ -161,10 +161,16 @@ def run_sweep(
     verdicts: Dict[int, Verdict] = dict(result.verdicts)
     for gid in state.proven:
         verdicts[gid] = Verdict.PROVEN_LEAKED
+    delta = runtime._delta
     for gid, verdict in verdicts.items():
         goro = runtime._goroutines.get(gid)
         if goro is not None and goro.alive:
-            goro.gc_verdict = verdict.value
+            value = verdict.value
+            if goro.gc_verdict != value:
+                goro.gc_verdict = value
+                if delta is not None:
+                    # A verdict change alters the shipped record.
+                    delta.mark(gid)
 
     newly_proven = list(result.proofs.values())
     state.proven.update(result.proofs)

@@ -89,44 +89,104 @@ class LeakProf:
                     apply_transient_filter=self.apply_transient_filter,
                 )
             self._observe_phase(reg, "scan", phase_started)
-            phase_started = _monotonic()
-            with tracer.span("leakprof.rank"):
-                candidates = rank_by_impact(suspects, top_n=self.top_n)
-            self._observe_phase(reg, "rank", phase_started)
-            phase_started = _monotonic()
-            new_reports: List[LeakReport] = []
-            duplicates: List[LeakCandidate] = []
-            with tracer.span("leakprof.file"):
-                for candidate in candidates:
-                    footprint = None
-                    if memory_footprints is not None:
-                        footprint = memory_footprints.get(candidate.service)
-                    report = self.bug_db.file(
-                        candidate,
-                        owner=self.router.route(candidate.location),
-                        filed_at=now,
-                        memory_footprint=footprint,
-                    )
-                    if report is None:
-                        duplicates.append(candidate)
-                    else:
-                        new_reports.append(report)
-            self._observe_phase(reg, "file", phase_started)
-            det.attributes.update(
-                suspects=len(suspects), new_reports=len(new_reports)
+            candidates, new_reports, duplicates = self._rank_and_file(
+                reg, tracer, det, suspects, now, memory_footprints
             )
-            if reg.enabled:
-                reg.counter(
-                    "repro_leakprof_runs_total", "LeakProf detection runs"
-                ).inc()
-                results = reg.counter(
-                    "repro_leakprof_results_total",
-                    "Detection outcomes per run, by kind",
-                    ("kind",),
+        remediations = self._remediate(new_reports, duplicates)
+        return DailyRunResult(
+            suspects=suspects,
+            candidates=candidates,
+            new_reports=new_reports,
+            duplicates=duplicates,
+            remediations=remediations,
+        )
+
+    def analyze_suspects(
+        self,
+        suspects: Sequence[Suspect],
+        now: float = 0.0,
+        memory_footprints=None,
+    ) -> DailyRunResult:
+        """Rank/file/remediate an already-computed suspect set.
+
+        The streaming entry point: suspects come from the fleet's
+        online scorer (:mod:`repro.leakprof.streaming`), so there is no
+        scan phase to run — everything downstream (impact ranking,
+        Bug-DB dedup, ownership routing, remediation retry) is the same
+        code path as :meth:`analyze_profiles`, with identical metrics
+        and span structure minus ``leakprof.scan``.
+        """
+        reg = obs.default_registry()
+        tracer = obs.default_tracer()
+        suspects = list(suspects)
+        with tracer.span("leakprof.detect", source="streaming") as det:
+            candidates, new_reports, duplicates = self._rank_and_file(
+                reg, tracer, det, suspects, now, memory_footprints
+            )
+        remediations = self._remediate(new_reports, duplicates)
+        return DailyRunResult(
+            suspects=suspects,
+            candidates=candidates,
+            new_reports=new_reports,
+            duplicates=duplicates,
+            remediations=remediations,
+        )
+
+    def _rank_and_file(
+        self,
+        reg,
+        tracer,
+        det,
+        suspects: List[Suspect],
+        now: float,
+        memory_footprints,
+    ):
+        """The shared back half of every detection run (rank → file)."""
+        phase_started = _monotonic()
+        with tracer.span("leakprof.rank"):
+            candidates = rank_by_impact(suspects, top_n=self.top_n)
+        self._observe_phase(reg, "rank", phase_started)
+        phase_started = _monotonic()
+        new_reports: List[LeakReport] = []
+        duplicates: List[LeakCandidate] = []
+        with tracer.span("leakprof.file"):
+            for candidate in candidates:
+                footprint = None
+                if memory_footprints is not None:
+                    footprint = memory_footprints.get(candidate.service)
+                report = self.bug_db.file(
+                    candidate,
+                    owner=self.router.route(candidate.location),
+                    filed_at=now,
+                    memory_footprint=footprint,
                 )
-                results.labels("suspect").inc(len(suspects))
-                results.labels("new_report").inc(len(new_reports))
-                results.labels("duplicate").inc(len(duplicates))
+                if report is None:
+                    duplicates.append(candidate)
+                else:
+                    new_reports.append(report)
+        self._observe_phase(reg, "file", phase_started)
+        det.attributes.update(
+            suspects=len(suspects), new_reports=len(new_reports)
+        )
+        if reg.enabled:
+            reg.counter(
+                "repro_leakprof_runs_total", "LeakProf detection runs"
+            ).inc()
+            results = reg.counter(
+                "repro_leakprof_results_total",
+                "Detection outcomes per run, by kind",
+                ("kind",),
+            )
+            results.labels("suspect").inc(len(suspects))
+            results.labels("new_report").inc(len(new_reports))
+            results.labels("duplicate").inc(len(duplicates))
+        return candidates, new_reports, duplicates
+
+    def _remediate(
+        self,
+        new_reports: List[LeakReport],
+        duplicates: List[LeakCandidate],
+    ) -> List[object]:
         remediations: List[object] = []
         if self.remediator is not None:
             pending = list(new_reports)
@@ -144,13 +204,38 @@ class LeakProf:
                 outcome = self.remediator(report)
                 if outcome is not None:
                     remediations.append(outcome)
-        return DailyRunResult(
-            suspects=suspects,
-            candidates=candidates,
-            new_reports=new_reports,
-            duplicates=duplicates,
-            remediations=remediations,
-        )
+        return remediations
+
+    def streaming_run(
+        self,
+        fleet,
+        now: float = 0.0,
+        memory_footprints=None,
+    ) -> DailyRunResult:
+        """One detection run against a streaming :class:`ShardedFleet`.
+
+        Takes the online scorer's current suspect set — zero wire
+        traffic, O(signatures) parent-side work — and runs the shared
+        rank/file/remediate back half.  Results are batch-identical to
+        ``daily_run`` over the same fleet's snapshots (minus
+        ``sweep_stats``, since nothing was swept).
+        """
+        reg = obs.default_registry()
+        with obs.default_tracer().span("leakprof.streaming_run") as root:
+            phase_started = _monotonic()
+            suspects = fleet.suspects(
+                threshold=self.threshold,
+                apply_transient_filter=self.apply_transient_filter,
+            )
+            self._observe_phase(reg, "score", phase_started)
+            result = self.analyze_suspects(
+                suspects, now=now, memory_footprints=memory_footprints
+            )
+            root.attributes.update(
+                suspects=len(suspects),
+                new_reports=len(result.new_reports),
+            )
+        return result
 
     @staticmethod
     def _observe_phase(reg, phase: str, started: float) -> None:

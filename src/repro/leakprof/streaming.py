@@ -1,0 +1,204 @@
+"""Online suspect scoring: LeakProf's incremental collector.
+
+The batch pipeline re-sweeps every instance snapshot on each daily run —
+O(total parked goroutines) per run even though almost none of them
+changed.  The streaming fleet already knows exactly what changed: the
+delta plane ships each goroutine record once (plus a tombstone when it
+finishes).  :class:`OnlineSuspectScorer` folds that stream into
+per-(instance, signature) accumulators so that producing the current
+suspect set is O(signatures), not O(goroutines), and per-window inflow /
+age statistics come for free.
+
+Parity is the contract: :meth:`OnlineSuspectScorer.suspects` returns a
+list equal to ``scan_fleet([view.snapshot().profile() ...])`` over the
+same views — same ordering, counts, representatives, proofs, and
+transient filtering (asserted per-window by ``bench_fleet_scale.py`` and
+property-tested in ``tests/test_streaming_delta.py``).  The ordering
+argument: batch scan walks records in ascending-gid order and groups
+into signatures by first appearance, so signatures emerge ordered by
+their minimum member gid, and the representative is the minimum-gid
+member (minimum-gid *proven* member when a proof exists).  The scorer
+maintains gid sets per signature and reproduces exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.profiling import GoroutineRecord
+from repro.snapshot.delta import InstanceView
+
+from .detector import DEFAULT_THRESHOLD, Suspect
+from .filters import is_trivially_nonblocking
+
+#: (state value, blocking location) — Suspect.key.
+Signature = Tuple[str, str]
+#: (service, index) — the fleet's instance key.
+InstanceKey = Tuple[str, int]
+
+
+class _SignatureAcc:
+    """Accumulators for one blocking signature in one instance."""
+
+    __slots__ = ("gids", "proven", "inflow_total", "inflow_window",
+                 "first_blocked_since")
+
+    def __init__(self) -> None:
+        self.gids: set = set()
+        self.proven: set = set()
+        #: Goroutines ever filed under this signature (monotone).
+        self.inflow_total = 0
+        #: Arrivals since the last window boundary.
+        self.inflow_window = 0
+        #: Earliest park time ever seen here (age anchor).
+        self.first_blocked_since: Optional[float] = None
+
+
+class _InstanceAcc:
+    __slots__ = ("sigs", "sig_of")
+
+    def __init__(self) -> None:
+        self.sigs: Dict[Signature, _SignatureAcc] = {}
+        #: gid -> signature it is currently filed under.
+        self.sig_of: Dict[int, Signature] = {}
+
+
+class OnlineSuspectScorer:
+    """Fold the fleet's delta stream into an always-current suspect index."""
+
+    def __init__(self) -> None:
+        self._instances: Dict[InstanceKey, _InstanceAcc] = {}
+        self.windows_scored = 0
+
+    # -- stream input (called by the fleet during delta application) ----
+
+    def on_record(
+        self,
+        key: InstanceKey,
+        template: GoroutineRecord,
+        blocked_since: Optional[float],
+    ) -> None:
+        """A record upsert: file the gid under its current signature."""
+        acc = self._instances.get(key)
+        if acc is None:
+            acc = self._instances[key] = _InstanceAcc()
+        signature: Optional[Signature] = None
+        if template.is_blocked and template.blocking_location is not None:
+            signature = (template.state.value, template.blocking_location)
+        gid = template.gid
+        previous = acc.sig_of.get(gid)
+        if previous is not None and previous != signature:
+            self._unfile(acc, gid, previous)
+        if signature is None:
+            acc.sig_of.pop(gid, None)
+            return
+        sig_acc = acc.sigs.get(signature)
+        if sig_acc is None:
+            sig_acc = acc.sigs[signature] = _SignatureAcc()
+        if gid not in sig_acc.gids:
+            sig_acc.gids.add(gid)
+            sig_acc.inflow_total += 1
+            sig_acc.inflow_window += 1
+            if blocked_since is not None and (
+                sig_acc.first_blocked_since is None
+                or blocked_since < sig_acc.first_blocked_since
+            ):
+                sig_acc.first_blocked_since = blocked_since
+        acc.sig_of[gid] = signature
+        if template.proof == "proven":
+            sig_acc.proven.add(gid)
+        else:
+            sig_acc.proven.discard(gid)
+
+    def on_tombstone(self, key: InstanceKey, gid: int) -> None:
+        acc = self._instances.get(key)
+        if acc is None:
+            return
+        signature = acc.sig_of.pop(gid, None)
+        if signature is not None:
+            self._unfile(acc, gid, signature)
+
+    def reset_instance(self, key: InstanceKey) -> None:
+        """A full (re)ship replaces the instance's state wholesale."""
+        self._instances.pop(key, None)
+
+    def end_window(self) -> None:
+        """Window boundary: roll the per-window inflow accumulators."""
+        self.windows_scored += 1
+        for acc in self._instances.values():
+            for sig_acc in acc.sigs.values():
+                sig_acc.inflow_window = 0
+
+    @staticmethod
+    def _unfile(acc: _InstanceAcc, gid: int, signature: Signature) -> None:
+        sig_acc = acc.sigs.get(signature)
+        if sig_acc is None:
+            return
+        sig_acc.gids.discard(gid)
+        sig_acc.proven.discard(gid)
+
+    # -- output ---------------------------------------------------------
+
+    def suspects(
+        self,
+        views: Dict[InstanceKey, InstanceView],
+        keys: Iterable[InstanceKey],
+        threshold: int = DEFAULT_THRESHOLD,
+        apply_transient_filter: bool = True,
+    ) -> List[Suspect]:
+        """The current fleet-wide suspect set, batch-scan-identical.
+
+        ``keys`` supplies the fleet's instance iteration order (service
+        add order, then index) so output ordering matches
+        ``scan_fleet`` over snapshots taken in that order.
+        """
+        suspects: List[Suspect] = []
+        for key in keys:
+            acc = self._instances.get(key)
+            if acc is None:
+                continue
+            view = views[key]
+            ordered = sorted(
+                (
+                    (min(sig_acc.gids), signature, sig_acc)
+                    for signature, sig_acc in acc.sigs.items()
+                    if sig_acc.gids
+                ),
+            )
+            for _min_gid, (state, location), sig_acc in ordered:
+                count = len(sig_acc.gids)
+                if sig_acc.proven:
+                    representative = view.record_at(min(sig_acc.proven))
+                    proof = "proven"
+                else:
+                    if count < threshold:
+                        continue
+                    representative = view.record_at(min(sig_acc.gids))
+                    if apply_transient_filter and is_trivially_nonblocking(
+                        representative
+                    ):
+                        continue
+                    proof = None
+                suspects.append(
+                    Suspect(
+                        service=view.service,
+                        instance=view.name,
+                        state=state,
+                        location=location,
+                        count=count,
+                        representative=representative,
+                        proof=proof,
+                    )
+                )
+        return suspects
+
+    def stats(self) -> Dict[InstanceKey, Dict[Signature, Tuple[int, int]]]:
+        """Inflow accumulators: {instance: {signature: (total, window)}}."""
+        return {
+            key: {
+                signature: (sig_acc.inflow_total, sig_acc.inflow_window)
+                for signature, sig_acc in acc.sigs.items()
+                if sig_acc.gids
+            }
+            for key, acc in self._instances.items()
+        }

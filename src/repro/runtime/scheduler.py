@@ -229,6 +229,9 @@ class Runtime:
         #: Lazily-created repro.gc state (tracker + engine + reports).
         self._gc_state: Optional[Any] = None
         self._gc_timer: Optional[_Timer] = None
+        #: Optional snapshot.delta.DeltaTracker for streaming shipping;
+        #: fed at the same mutation points as the gc tracker.
+        self._delta: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Channels and timers
@@ -351,6 +354,8 @@ class Runtime:
         self._goroutine_bytes += goro.stack_bytes
         if self._gc_state is not None:
             self._gc_state.tracker.mark_dirty(gid)
+        if self._delta is not None:
+            self._delta.mark(gid)
         if is_main:
             self.main = goro
         self._enqueue(goro)
@@ -370,6 +375,8 @@ class Runtime:
         self.goroutines_finished += 1
         if self._gc_state is not None:
             self._gc_state.tracker.forget(goro.gid)
+        if self._delta is not None:
+            self._delta.on_finish(goro.gid)
         if not goro.is_main:
             # Done goroutines leave the address space entirely; keep main
             # for run() to read its result.
@@ -387,6 +394,8 @@ class Runtime:
         self._goroutines.pop(goro.gid, None)
         if self._gc_state is not None:
             self._gc_state.tracker.forget(goro.gid)
+        if self._delta is not None:
+            self._delta.on_finish(goro.gid)
         if self.panic_mode == "raise":
             raise exc
 
@@ -407,6 +416,8 @@ class Runtime:
             # Frame locals can only change while the goroutine runs, so
             # this is the one place the reference tracker must be told.
             self._gc_state.tracker.mark_dirty(goro.gid)
+        if self._delta is not None:
+            self._delta.mark(goro.gid)
         try:
             if goro.pending_exception is not None:
                 exc = goro.pending_exception

@@ -216,10 +216,18 @@ class TestShardSupervision:
 
     def test_kill_during_snapshot_read_still_answers(self):
         """A non-mutating command is re-sent (not replayed) after the
-        respawn; the LeakProf sweep sees a complete snapshot set."""
+        respawn; the LeakProf sweep sees a complete snapshot set.
+
+        Batch mode: streaming answers ``snapshots()`` from the parent's
+        materialized views without touching the wire, so there is no
+        op 2 for the pinned kill to land on.
+        """
         schedule = FaultSchedule().pin(FaultKind.KILL_WORKER, 1, 2)
         fleet = ShardedFleet(
-            shards=2, chaos=ShardChaos(schedule), worker_deadline=10.0
+            shards=2,
+            chaos=ShardChaos(schedule),
+            worker_deadline=10.0,
+            mode="batch",
         )
         for config, seed in _configs():
             fleet.add_service(config, seed=seed)

@@ -1,0 +1,363 @@
+"""Streaming detection plane (ISSUE 9): delta snapshots, shared-memory
+counters, checkpoint/restore, and online suspect scoring.
+
+The load-bearing property: the parent's materialized
+:class:`~repro.snapshot.InstanceView` state — reconstructed purely from
+incremental deltas, tombstones and O(1) stat rows — must be
+**indistinguishable** from ``snapshot_instance`` run in-process, and the
+online scorer's suspect list must be list-equal to the batch
+``scan_fleet`` sweep over those snapshots.  Everything else (resync,
+checkpoints, shm fallback) preserves that invariant under churn.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.fleet import (
+    CheckpointUnsupported,
+    Fleet,
+    RequestMix,
+    Service,
+    ServiceConfig,
+    ShardedFleet,
+    TrafficShape,
+    checkpoint_instance,
+    restore_instance,
+)
+from repro.leakprof import LeakProf, scan_fleet
+from repro.patterns import healthy, timeout_leak
+from repro.runtime import go, sleep
+from repro.snapshot import snapshot_instance
+
+WINDOW = 3600.0
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def leaky_mix(payload=32 * 1024):
+    return RequestMix().add(
+        "checkout", timeout_leak.leaky, weight=1.0, payload_bytes=payload
+    )
+
+
+def clean_mix():
+    return RequestMix().add("ping", healthy.request_response, weight=1.0)
+
+
+def camper(rt, payload_bytes=1024):
+    """A handler whose child outlives the request — and the *window*.
+
+    The child sleeps past the 3600 s window boundary, so it ships as a
+    live (SLEEPING) record in one delta and must come back as a
+    tombstone in the next.  Exercises the full dirty → shipped →
+    finished lifecycle across windows.
+    """
+
+    def linger():
+        yield sleep(5000.0)
+
+    yield go(linger)
+
+
+def lingering_mix():
+    return RequestMix().add("bg", camper, weight=1.0)
+
+
+def _configs(lingering=False):
+    return [
+        (
+            ServiceConfig(
+                name="payments",
+                mix=lingering_mix() if lingering else leaky_mix(),
+                instances=3,
+                traffic=TrafficShape(requests_per_window=12),
+            ),
+            1,
+        ),
+        (
+            ServiceConfig(
+                name="search",
+                mix=clean_mix(),
+                instances=2,
+                traffic=TrafficShape(requests_per_window=12),
+            ),
+            2,
+        ),
+    ]
+
+
+def _serial_reference(windows, seed_offset=0, lingering=False):
+    """Per-window snapshot lists + final histories from one process."""
+    fleet = Fleet()
+    for config, seed in _configs(lingering):
+        fleet.add(Service(config, seed=seed + seed_offset))
+    per_window = []
+    for _ in range(windows):
+        fleet.advance_window(WINDOW)
+        snaps = [snapshot_instance(inst) for inst in fleet.all_instances()]
+        for snap in snaps:
+            snap.runtime.records  # materialize before the runtime moves on
+        per_window.append(snaps)
+    histories = {n: s.history for n, s in fleet.services.items()}
+    return per_window, histories
+
+
+class TestViewParity:
+    """Delta-reconstructed views ≡ in-process snapshot_instance."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed_offset=st.integers(min_value=0, max_value=10_000),
+        windows=st.integers(min_value=1, max_value=4),
+    )
+    def test_views_match_snapshots_across_shard_counts(
+        self, seed_offset, windows
+    ):
+        reference, ref_hist = _serial_reference(windows, seed_offset)
+        for shards in (1, 2, 4):
+            with ShardedFleet(shards=shards) as fleet:
+                for config, seed in _configs():
+                    fleet.add_service(config, seed=seed + seed_offset)
+                fleet.start()
+                for w in range(windows):
+                    fleet.advance_window(WINDOW)
+                    assert fleet.snapshots() == reference[w], (
+                        f"{shards}-shard views diverged at window {w}"
+                    )
+                assert {
+                    n: s.history for n, s in fleet.services.items()
+                } == ref_hist
+
+    def test_tombstones_remove_finished_goroutines_from_views(self):
+        """Goroutines alive at one ship and dead at the next must leave
+        the views via explicit tombstones (streaming never reships the
+        world, so a missed tombstone is a permanent ghost record)."""
+        reference, _ = _serial_reference(3, lingering=True)
+        with ShardedFleet(shards=2) as fleet:
+            for config, seed in _configs(lingering=True):
+                fleet.add_service(config, seed=seed)
+            fleet.start()
+            gids_per_window = []
+            for w in range(3):
+                fleet.advance_window(WINDOW)
+                assert fleet.snapshots() == reference[w]
+                gids_per_window.append({
+                    key: set(view.records)
+                    for key, view in fleet._views.items()
+                    if key[0] == "payments"
+                })
+        # non-vacuity: campers shipped in window 1 died in window 2, so
+        # some gids must have *left* a view between consecutive windows
+        departed = [
+            gids_per_window[w][key] - gids_per_window[w + 1][key]
+            for w in range(2)
+            for key in gids_per_window[w]
+        ]
+        assert any(departed), "no goroutine ever left a view; vacuous test"
+
+    def test_anti_entropy_resync_preserves_parity(self):
+        reference, ref_hist = _serial_reference(4)
+        with ShardedFleet(shards=2, resync_every=2) as fleet:
+            for config, seed in _configs():
+                fleet.add_service(config, seed=seed)
+            fleet.start()
+            for w in range(4):
+                fleet.advance_window(WINDOW)
+                assert fleet.snapshots() == reference[w]
+            assert fleet.full_resyncs == 2
+            assert {
+                n: s.history for n, s in fleet.services.items()
+            } == ref_hist
+            assert "repro_fleet_full_resync_total 2" in obs.render()
+
+    def test_use_shm_false_ships_stats_inline_with_identical_results(self):
+        reference, ref_hist = _serial_reference(3)
+        with ShardedFleet(shards=2, use_shm=False) as fleet:
+            for config, seed in _configs():
+                fleet.add_service(config, seed=seed)
+            fleet.start()
+            for w in range(3):
+                fleet.advance_window(WINDOW)
+                assert fleet.snapshots() == reference[w]
+            assert fleet._stat_plane is None
+            assert fleet.wire_bytes_total > 0
+
+    def test_batch_mode_still_byte_identical(self):
+        """The legacy full-pickle path stays available and correct."""
+        reference, ref_hist = _serial_reference(3)
+        with ShardedFleet(shards=2, mode="batch") as fleet:
+            for config, seed in _configs():
+                fleet.add_service(config, seed=seed)
+            fleet.start()
+            for _ in range(3):
+                fleet.advance_window(WINDOW)
+            assert fleet.snapshots() == reference[-1]
+            assert {
+                n: s.history for n, s in fleet.services.items()
+            } == ref_hist
+            with pytest.raises(RuntimeError, match="streaming"):
+                fleet.suspects()
+            with pytest.raises(RuntimeError, match="streaming"):
+                fleet.resync()
+
+
+class TestOnlineScorer:
+    """fleet.suspects() ≡ scan_fleet over the same snapshots."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed_offset=st.integers(min_value=0, max_value=10_000),
+        threshold=st.sampled_from([1, 3, 20]),
+    )
+    def test_suspects_match_batch_scan_every_window(
+        self, seed_offset, threshold
+    ):
+        with ShardedFleet(shards=2) as fleet:
+            for config, seed in _configs():
+                fleet.add_service(config, seed=seed + seed_offset)
+            fleet.start()
+            for _ in range(3):
+                fleet.advance_window(WINDOW)
+                batch = scan_fleet(
+                    [s.profile() for s in fleet.snapshots()],
+                    threshold=threshold,
+                )
+                assert fleet.suspects(threshold=threshold) == batch
+
+    def test_streaming_run_matches_daily_run(self):
+        """LeakProf.streaming_run (online scorer, zero wire traffic)
+        files the same reports as daily_run over shipped snapshots."""
+        with ShardedFleet(shards=2) as fleet:
+            for config, seed in _configs():
+                fleet.add_service(config, seed=seed)
+            fleet.start()
+            for _ in range(3):
+                fleet.advance_window(WINDOW)
+            batch = LeakProf(threshold=3).daily_run(fleet.snapshots(), now=1.0)
+            streamed = LeakProf(threshold=3).streaming_run(fleet, now=1.0)
+        assert streamed.suspects == batch.suspects
+        assert [r.candidate for r in streamed.new_reports] == [
+            r.candidate for r in batch.new_reports
+        ]
+
+    def test_deploy_resets_scorer_state(self):
+        """A restart reseeds instances; the scorer must forget the old
+        incarnation's signatures or counts double across generations."""
+        serial = Fleet()
+        for config, seed in _configs():
+            serial.add(Service(config, seed=seed))
+        for _ in range(2):
+            serial.advance_window(WINDOW)
+        serial.services["payments"].deploy(leaky_mix())
+        serial.advance_window(WINDOW)
+        expected = scan_fleet(
+            [snapshot_instance(i).profile() for i in serial.all_instances()],
+            threshold=1,
+        )
+        with ShardedFleet(shards=2) as fleet:
+            for config, seed in _configs():
+                fleet.add_service(config, seed=seed)
+            fleet.start()
+            for _ in range(2):
+                fleet.advance_window(WINDOW)
+            fleet.services["payments"].deploy(leaky_mix())
+            fleet.advance_window(WINDOW)
+            assert fleet.suspects(threshold=1) == expected
+
+
+class TestCheckpointRestore:
+    """Generator-free instance serialization: exact or declined."""
+
+    def _instance(self, windows=2):
+        service = Service(
+            ServiceConfig(
+                name="payments",
+                mix=leaky_mix(),
+                instances=1,
+                traffic=TrafficShape(requests_per_window=12),
+            ),
+            seed=7,
+        )
+        for _ in range(windows):
+            service.advance_window(WINDOW)
+        return service.instances[0]
+
+    def test_round_trip_is_behaviorally_exact(self):
+        original = self._instance()
+        restored = restore_instance(checkpoint_instance(original))
+        assert snapshot_instance(restored) == snapshot_instance(original)
+        # not just a frozen replica: both worlds keep evolving in lockstep
+        original.advance_window(WINDOW)
+        restored.advance_window(WINDOW)
+        assert snapshot_instance(restored) == snapshot_instance(original)
+        assert restored.metrics == original.metrics
+
+    def test_declines_mid_flight_state(self):
+        instance = self._instance()
+
+        def runnable():
+            yield sleep(0.001)
+
+        instance.runtime.spawn(runnable, name="runnable")
+        with pytest.raises(CheckpointUnsupported, match="runnable"):
+            checkpoint_instance(instance)
+
+    def test_declines_gc_machinery(self):
+        service = Service(
+            ServiceConfig(
+                name="payments",
+                mix=leaky_mix(),
+                instances=1,
+                traffic=TrafficShape(requests_per_window=12),
+                gc_interval=600.0,
+            ),
+            seed=7,
+        )
+        service.advance_window(WINDOW)
+        with pytest.raises(CheckpointUnsupported, match="gc"):
+            checkpoint_instance(service.instances[0])
+
+    def test_fleet_checkpoint_truncates_journals(self):
+        reference, ref_hist = _serial_reference(4)
+        with ShardedFleet(shards=2, checkpoint_every=2) as fleet:
+            for config, seed in _configs():
+                fleet.add_service(config, seed=seed)
+            fleet.start()
+            for w in range(4):
+                fleet.advance_window(WINDOW)
+                assert fleet.snapshots() == reference[w]
+            assert fleet.checkpoints_taken == 2 * fleet.num_shards
+            assert fleet.checkpoints_declined == 0
+            # window 4 checkpointed; nothing mutating has run since
+            assert all(len(j) == 0 for j in fleet._journal)
+            assert {
+                n: s.history for n, s in fleet.services.items()
+            } == ref_hist
+            exposition = obs.render()
+        assert "repro_fleet_checkpoint_seconds" in exposition
+        assert 'repro_fleet_checkpoint_bytes_count{shard="0"}' in exposition
+        spans = obs.default_tracer().find("fleet.checkpoint")
+        assert spans and spans[0].attributes["taken"] == 2
+
+    def test_gc_enabled_shard_declines_and_keeps_journal(self):
+        config = ServiceConfig(
+            name="payments",
+            mix=leaky_mix(),
+            instances=2,
+            traffic=TrafficShape(requests_per_window=12),
+            gc_interval=600.0,
+        )
+        with ShardedFleet(shards=1, checkpoint_every=1) as fleet:
+            fleet.add_service(config, seed=1)
+            fleet.start()
+            fleet.advance_window(WINDOW)
+            assert fleet.checkpoints_taken == 0
+            assert fleet.checkpoints_declined == 1
+            # the journal survives: replay is still the recovery path
+            assert len(fleet._journal[0]) > 0
