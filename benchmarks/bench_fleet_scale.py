@@ -41,6 +41,19 @@ Four assertions gate the result:
   ``FLEET_SCALE_MAX_BYTES_RATIO`` (default 25%) of the bytes-per-window
   the batch plane ships.  Deltas that silently grew back into full
   snapshots would still be "correct", just pointless.
+* **sweep throughput** — the parent's vectorized stat-plane sweep
+  (``shm.sweep_plane``: one bytes grab, ``array``-column watermark
+  validation, one ``RowCache`` publication, plus the ``memoryview``-cast
+  sample-column extraction every window consumes) must beat the per-key
+  legacy loop (per-slot ``read_row``, a deferred ``stats_from_row``
+  closure, five mirror attribute writes) by
+  ``FLEET_SCALE_MIN_SWEEP_SPEEDUP`` (default 2x) at
+  ``FLEET_SCALE_SWEEP_INSTANCES`` (default 10 000) instances.  Pure
+  parent-side CPU work on synthetic rows — enforceable on any host.
+  Views and mirrors read through the published cache lazily, so their
+  cost moves out of the sweep to the (sparse) queries that need them;
+  the equivalence assert below checks a cache-bound view materializes
+  the same stats the eager legacy loop produced.
 
 CI runs a reduced size via the ``FLEET_SCALE_*`` environment knobs (see
 .github/workflows/ci.yml); the committed JSON is from a full run.
@@ -216,6 +229,182 @@ def _min_profile(best, times):
     return times if best is None else [min(a, b) for a, b in zip(best, times)]
 
 
+# ---------------------------------------------------------------------------
+# Vectorized stat-plane sweep vs the per-key legacy loop
+
+#: Synthetic-plane size for the sweep micro-benchmark (the paper's
+#: fleet regime: 10k+ instances swept every window).
+SWEEP_INSTANCES = int(os.environ.get("FLEET_SCALE_SWEEP_INSTANCES", "10000"))
+MIN_SWEEP_SPEEDUP = float(
+    os.environ.get("FLEET_SCALE_MIN_SWEEP_SPEEDUP", "2.0")
+)
+SWEEP_REPEATS = int(os.environ.get("FLEET_SCALE_SWEEP_REPEATS", "5"))
+
+#: Filled by test_stat_sweep_vectorized, merged into the single
+#: BENCH_fleet_scale.json emit by test_fleet_scale_sharding.
+_SWEEP: dict = {}
+
+
+class _LegacyView:
+    """PR-9 ``InstanceView`` stat surface: a deferred-stats thunk."""
+
+    __slots__ = ("stats", "_lazy")
+
+    def __init__(self):
+        self.stats = None
+        self._lazy = None
+
+    def defer_stats(self, thunk):
+        self.stats = None
+        self._lazy = thunk
+
+
+class _LegacyMirror:
+    """PR-9 ``_InstanceMirror`` stat surface: five attribute stores."""
+
+    __slots__ = ("t", "cpu_percent", "rss_bytes", "blocked", "goroutines")
+
+    def __init__(self):
+        self.t = 0.0
+        self.cpu_percent = 0.0
+        self.rss_bytes = 0
+        self.blocked = 0
+        self.goroutines = 0
+
+
+def _legacy_sweep(plane, views, mirrors, count):
+    """The per-key loop the parent ran before vectorization: one
+    ``read_row`` struct unpack per slot, a ``stats_from_row`` closure,
+    and five mirror attribute writes."""
+    from repro.fleet.shm import stats_from_row
+
+    read_row = plane.read_row
+    for slot in range(count):
+        row = read_row(slot)
+        views[slot].defer_stats(lambda row=row: stats_from_row(row))
+        mirror = mirrors[slot]
+        mirror.t = row[2]
+        mirror.cpu_percent = row[3]
+        mirror.rss_bytes = row[4]
+        mirror.blocked = row[5]
+        mirror.goroutines = row[6]
+
+
+def _vectorized_sweep(plane, cache, count, window, shard_col, attached):
+    """What ``ShardedFleet._finish_sweep`` + ``_sample`` run per window:
+    one ``sweep_plane`` (bytes grab + ``array`` column validation + cache
+    publication) and the ``memoryview``-cast sample-column extraction."""
+    from repro.fleet.shm import sweep_plane
+
+    cache.begin()
+    sweep_plane(plane, count, cache, window, shard_col, attached)
+    cache.sample_columns(count)
+
+
+def _measure_sweep():
+    from array import array
+
+    from repro.fleet.shm import RowCache, StatPlane
+    from repro.snapshot.delta import InstanceStats, InstanceView
+
+    count = SWEEP_INSTANCES
+    plane = StatPlane.create(count)
+    assert plane is not None, "shared memory unavailable; sweep bench moot"
+    try:
+        window = 7
+        shard_col = array("q", (slot % 4 for slot in range(count)))
+        attached = [True] * 4
+        for slot in range(count):
+            plane.write(
+                slot,
+                InstanceStats(
+                    t=float(window) * WINDOW,
+                    rss_bytes=64 * 1024 * 1024 + slot,
+                    blocked=slot % 11,
+                    cpu_percent=3.5,
+                    goroutines=5 + slot % 7,
+                    requests_window=1,
+                    requests_total=window,
+                    steps=100 + slot,
+                    windows=window,
+                    census=(("sleeping", 4), ("blocked_recv", slot % 11)),
+                ),
+                shard=slot % 4,
+                window=window,
+            )
+        legacy_views = [_LegacyView() for _ in range(count)]
+        mirrors = [_LegacyMirror() for _ in range(count)]
+        cache = RowCache()
+        views = []
+        for slot in range(count):
+            view = InstanceView("svc", slot, f"svc/i-{slot}", 0)
+            view.bind_cache(cache, slot)
+            views.append(view)
+        legacy_s = vector_s = None
+        gc.collect()
+        for _ in range(SWEEP_REPEATS):
+            start = time.perf_counter()
+            _legacy_sweep(plane, legacy_views, mirrors, count)
+            elapsed = time.perf_counter() - start
+            legacy_s = elapsed if legacy_s is None else min(legacy_s, elapsed)
+            start = time.perf_counter()
+            _vectorized_sweep(plane, cache, count, window, shard_col, attached)
+            elapsed = time.perf_counter() - start
+            vector_s = elapsed if vector_s is None else min(vector_s, elapsed)
+        # Both sweeps must surface the same state: a cache-bound view
+        # (lazy read-through) materializes the stats the eager legacy
+        # loop produced, and the sample columns match the mirrors.
+        assert cache.epoch == SWEEP_REPEATS and not cache.overrides
+        assert views[17].stats == legacy_views[17]._lazy()
+        ts, cpu, rss, blocked, goroutines = cache.sample_columns(count)
+        probe = count // 2
+        assert (
+            ts[probe], cpu[probe], rss[probe],
+            blocked[probe], goroutines[probe],
+        ) == (
+            mirrors[probe].t, mirrors[probe].cpu_percent,
+            mirrors[probe].rss_bytes, mirrors[probe].blocked,
+            mirrors[probe].goroutines,
+        )
+    finally:
+        plane.close()
+    return {
+        "sweep_instances": count,
+        "sweep_speedup": round(legacy_s / vector_s, 2),
+        "min_sweep_speedup": MIN_SWEEP_SPEEDUP,
+        "sweep_legacy_ms": round(legacy_s * 1e3, 3),
+        "sweep_vectorized_ms": round(vector_s * 1e3, 3),
+    }
+
+
+def test_stat_sweep_vectorized():
+    """Gate: columnar sweep_plane ≥2x the per-key legacy sweep."""
+    _SWEEP.update(_measure_sweep())
+    print_table(
+        f"Stat-plane sweep at {_SWEEP['sweep_instances']} instances "
+        f"(best of {SWEEP_REPEATS})",
+        ["sweep", "per pass", "notes"],
+        [
+            (
+                "legacy per-key loop",
+                f"{_SWEEP['sweep_legacy_ms']:.2f}ms",
+                "read_row + closure + 5 attr writes",
+            ),
+            (
+                "vectorized sweep_plane",
+                f"{_SWEEP['sweep_vectorized_ms']:.2f}ms",
+                "array column validate + publish + sample cols",
+            ),
+            ("speedup", f"{_SWEEP['sweep_speedup']:.2f}x", ""),
+        ],
+    )
+    assert _SWEEP["sweep_speedup"] >= MIN_SWEEP_SPEEDUP, (
+        f"vectorized sweep only {_SWEEP['sweep_speedup']:.2f}x the "
+        f"per-key loop (< {MIN_SWEEP_SPEEDUP}x) at "
+        f"{_SWEEP['sweep_instances']} instances"
+    )
+
+
 def test_fleet_scale_sharding():
     total = max(1, INSTANCES // N_SERVICES) * N_SERVICES
 
@@ -375,6 +564,9 @@ def test_fleet_scale_sharding():
         leakprof_suspects_identical=suspects_identical,
         parity_by_shards=parity_by_shards,
         leak_suspects=len(single_run.suspects),
+        # sweep micro-bench fields (measured by test_stat_sweep_vectorized
+        # just above; re-measured here if this test runs alone)
+        **(_SWEEP or _measure_sweep()),
     )
 
     for shards, run in streaming.items():

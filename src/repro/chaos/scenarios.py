@@ -17,6 +17,11 @@ The invariants are the subsystem contracts, not smoke checks:
   checkpoint and mid-delta-ship recover via checkpoint-restore plus a
   journal tail bounded by the checkpoint cadence, with byte-identical
   histories and online-scorer suspects;
+* ``rebalance_crash`` — a mid-week :meth:`ShardedFleet.rebalance` moves
+  an instance between workers, then *both* the eviction source and the
+  adoption target are SIGKILL'd while the week finishes asynchronously;
+  journal replay re-runs the evict/adopt commands and the histories and
+  suspects stay byte-identical to a fault-free single-process run;
 * ``poison_profile`` — a parser-crashing archive row is dead-lettered,
   every other tenant still runs, and the second sweep no longer trips;
 * ``sqlite_lock`` — repeated ``database is locked`` failures isolate to
@@ -265,6 +270,98 @@ def checkpoint_crash(seed: int = 0) -> ScenarioResult:
 
 
 # ---------------------------------------------------------------------------
+# rebalance_crash: evict/adopt survive SIGKILL on both sides of a move
+
+
+def rebalance_crash(seed: int = 0) -> ScenarioResult:
+    """Rebalance mid-week, then SIGKILL both sides; nothing may notice.
+
+    A 2-shard streaming fleet advances 3 lockstep windows, then
+    :meth:`ShardedFleet.rebalance` moves ``payments/i-2`` from shard 0
+    (its round-robin home) to shard 1 via checkpoint blobs.  Per-shard
+    command sequences are then fixed: shard 0 runs ``init(0), adv(1..3),
+    evict(4), adv(5..7)`` and shard 1 runs ``init(0), adv(1..3),
+    adopt(4), adv(5..7)``.  Two pinned kills land *after* the move —
+    shard 0 (the eviction source) at op 5 and shard 1 (the adoption
+    target) at op 6 — while the remaining 3 windows run through
+    :meth:`run_days_async`, so both journal replays must re-execute
+    their half of the rebalance (re-evict / re-adopt the blob) to
+    rebuild the post-move topology.  Histories and online-scorer
+    suspects must come out byte-identical to a fault-free
+    single-process week, and the moved instance must still live on
+    shard 1 afterwards.
+    """
+    from repro.fleet import Fleet, Service, ShardedFleet
+    from repro.leakprof import LeakProf
+
+    windows = 6
+    moved = ("payments", 2)
+
+    reference = Fleet()
+    for config, svc_seed in _fleet_configs():
+        reference.add(Service(config, seed=svc_seed + seed))
+    for _ in range(windows):
+        reference.advance_window(3600.0)
+    ref_histories = {n: s.history for n, s in reference.services.items()}
+    ref_result = LeakProf(threshold=20).daily_run(
+        reference.all_instances(), now=1.0
+    )
+
+    schedule = (
+        FaultSchedule(seed=seed)
+        .pin(FaultKind.KILL_WORKER, 0, 5)
+        .pin(FaultKind.KILL_WORKER, 1, 6)
+    )
+    fleet = ShardedFleet(
+        shards=2,
+        chaos=ShardChaos(schedule),
+        worker_deadline=10.0,
+        mode="streaming",
+    )
+    for config, svc_seed in _fleet_configs():
+        fleet.add_service(config, seed=svc_seed + seed)
+    fleet.start()
+    try:
+        for _ in range(3):
+            fleet.advance_window(3600.0)
+        applied = fleet.rebalance({moved: 1})
+        fleet.run_days_async(3 * 3600.0 / 86400.0, window=3600.0)
+        histories = {n: s.history for n, s in fleet.services.items()}
+        result = LeakProf(threshold=20).streaming_run(fleet, now=1.0)
+        moved_shard = fleet._key_shard[moved]
+    finally:
+        fleet.close()
+
+    return ScenarioResult(
+        name="rebalance_crash",
+        seed=seed,
+        invariants={
+            "faults_fired": schedule.fired_count(FaultKind.KILL_WORKER) == 2,
+            "workers_respawned": fleet.worker_restarts == 2,
+            "rebalance_applied": applied == {moved: 1}
+            and fleet.rebalances == 1
+            and fleet.instances_moved == 1,
+            "move_survived_replay": moved_shard == 1,
+            "history_parity": histories == ref_histories,
+            "suspects_parity": result.suspects == ref_result.suspects,
+            "leak_still_visible": any(
+                s.total_blocked_goroutines > 0
+                for s in ref_histories["payments"]
+            ),
+            "no_live_children": fleet.live_workers() == 0,
+        },
+        details={
+            "windows": windows,
+            "moved": list(moved),
+            "watermark": fleet.watermark,
+            "max_window_spread": fleet.max_window_spread,
+            "fired": [r.kind.value for r in schedule.fired],
+        },
+        schedule_json=schedule.to_json(),
+    )
+
+
+# ---------------------------------------------------------------------------
 # poison_profile: dead-letter isolation
 
 
@@ -461,6 +558,7 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "daemon_flake": daemon_flake,
     "worker_kill": worker_kill,
     "checkpoint_crash": checkpoint_crash,
+    "rebalance_crash": rebalance_crash,
 }
 
 

@@ -27,6 +27,14 @@ Instances that violate the preconditions (e.g. gc-enabled services,
 whose tracker holds live reference state) raise
 :class:`CheckpointUnsupported`; the fleet keeps journaling for that
 shard and simply counts the declined checkpoint.
+
+The same blobs are the unit of shard *re-balancing*: an all-or-nothing
+``evict`` checkpoints the moving instances out of their source worker
+and ``adopt`` restores them — plus their delta-tracker ship state — on
+the target.  The blob dict and the ``(service, index, blob,
+shipped_gids, gc_sweeps)`` entry format are specified normatively in
+``docs/STREAMING_PROTOCOL.md`` §5, the evict/adopt atomicity rules in
+§7.
 """
 
 from __future__ import annotations

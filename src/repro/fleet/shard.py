@@ -8,8 +8,7 @@ consumes :mod:`repro.snapshot` objects instead of live runtimes,
 instances are free to live anywhere.
 
 :class:`ShardedFleet` partitions a fleet's instances across N worker
-processes.  Windows advance in parallel; what comes back depends on the
-shipping mode:
+processes.  What comes back depends on the shipping mode:
 
 * ``mode="streaming"`` (default) — the continuous-detection plane.
   Workers ship **delta snapshots**: only the goroutine records dirtied
@@ -27,6 +26,48 @@ shipping mode:
 Deploys, partial deploys, and remedy rollouts travel to the owning
 shards as commands in either mode.
 
+Asynchronous windows and the fleet watermark
+--------------------------------------------
+Streaming shards are not bound to lockstep.  Every worker keeps a
+``window_seq`` counter, bumps it on each ``advance`` command, and tags
+both its delta replies and its shared-memory stat rows with the
+``(shard, window)`` watermark.  The parent buffers out-of-phase replies
+per shard, tracks each shard's watermark, and *commits* windows in
+order once every shard has reached them: the **fleet watermark**
+``W = min(shard watermarks)`` (:attr:`ShardedFleet.watermark`).  Views,
+``ServiceSample`` histories, and the online scorer only ever contain
+committed state, so ``suspects()``/``snapshots()`` answered at
+watermark ``W`` are byte-identical to a lockstep run advanced exactly
+``W`` windows — property-gated in ``tests/test_streaming_delta.py``.
+
+Drive it with :meth:`begin_advance`/:meth:`poll` (non-blocking),
+:meth:`advance_shard` (one shard, blocking), or
+:meth:`run_days_async` (free-running with a ``max_lead`` bound).
+:meth:`barrier` drains in-flight advances and catches laggards up to
+the fastest shard; every whole-fleet operation that must observe a
+single instant (``checkpoint``/``resync``/deploys/``rebalance``/
+lockstep ``advance_window``) starts with one.  A delta reply whose
+window is not the shard watermark + 1 (an advance) or the watermark
+itself (any other command) is rejected as a protocol violation; a delta
+older than a view's own watermark is dropped before it can resurrect
+tombstoned records (``stale_deltas``).
+
+Re-balancing
+------------
+:meth:`ShardedFleet.rebalance` moves instances between workers through
+the checkpoint path (:mod:`repro.fleet.checkpoint`): the source worker
+checkpoints and evicts the moving instances (all-or-nothing — an
+instance that cannot be checkpointed exactly declines the whole
+eviction), the target worker adopts the blobs plus their delta-tracker
+state, and the parent rewires its key→shard map.  Both ``evict`` and
+``adopt`` are journaled, so a SIGKILL at any boundary replays to
+byte-identical state (chaos scenario ``rebalance_crash``).  Manual
+moves are explicit; :meth:`maybe_rebalance` triggers the same path when
+one shard's advance-latency EMA lags the fastest by a factor, and
+:meth:`run_days_async` can invoke it per committed window.  Because
+results are topology-invariant, *when* a rebalance fires never changes
+what the fleet computes — only wall-clock balance.
+
 Determinism guarantee
 ---------------------
 Every instance's runtime is a pure function of its seed, and instance
@@ -43,18 +84,19 @@ Supervision guarantee
 ---------------------
 The same purity is what makes crash recovery *provably correct*.  The
 parent keeps, per shard, a journal of every state-mutating command
-(``init``/``advance``/``restart``) since ``start()``.  Worker replies
-are collected with poll-with-deadline instead of a blocking ``recv()``,
-so a dead worker (SIGKILL'd, OOM'd, wedged) is *detected* — via
-``Process.is_alive()``, pipe EOF, or deadline expiry — never waited on
-forever.  Recovery respawns the worker and replays its journal: every
-instance is rebuilt through ``fleet.determinism.build_instance`` and
-re-advanced through the exact windows it had already seen, so the
-respawned shard's state — and therefore the fleet's ``ServiceSample``
-history — is byte-identical to a run where the worker never died.  The
-in-flight command is the journal's last entry (or is re-sent, if it was
-a read), so no window and no snapshot request is ever lost.  Delta
-application is idempotent, so a replayed window folding into an
+(``init``/``advance``/``restart``/``evict``/``adopt``) since
+``start()``.  Worker replies are collected with poll-with-deadline
+instead of a blocking ``recv()``, so a dead worker (SIGKILL'd, OOM'd,
+wedged) is *detected* — via ``Process.is_alive()``, pipe EOF, or
+deadline expiry — never waited on forever.  Recovery respawns the
+worker and replays its journal: every instance is rebuilt through
+``fleet.determinism.build_instance`` and re-advanced through the exact
+windows it had already seen, so the respawned shard's state — and
+therefore the fleet's ``ServiceSample`` history — is byte-identical to
+a run where the worker never died.  The in-flight command is the
+journal's last entry (or is re-sent, if it was a read), so no window
+and no snapshot request is ever lost.  Delta application is idempotent
+and watermark-guarded, so a replayed window folding into an
 already-current view changes nothing.
 
 Checkpointing bounds the replay: every ``checkpoint_every`` full-fleet
@@ -79,7 +121,10 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from array import array
+from collections import deque
+from multiprocessing.connection import wait as _mp_wait
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.obs.registry import monotonic as _monotonic
@@ -100,7 +145,18 @@ from .checkpoint import (
 from .deployment import ServiceConfig, ServiceSample
 from .determinism import aggregate_sample, build_instance as _build_instance
 from .service import ServiceInstance, WINDOW_SECONDS
-from .shm import StatPlane, stats_from_row
+from .shm import (
+    F_BLOCKED,
+    F_CPU,
+    F_GOROUTINES,
+    F_RSS,
+    F_T,
+    RowCache,
+    StatPlane,
+    raw_from_stats,
+    row_head,
+    sweep_plane,
+)
 from .workload import RequestMix
 
 # _build_instance is repro.fleet.determinism.build_instance — the same
@@ -136,11 +192,14 @@ def _shard_worker(conn) -> None:
     """One worker process: owns a set of instances, obeys shard commands.
 
     Protocol: the parent sends one tuple, the worker answers with one
-    ``(kind, payload)`` tuple — strict lockstep, so a broadcast can send
-    to every worker first and then collect, overlapping their compute.
-    The lockstep is also the shared-memory barrier: a worker finishes
-    its in-place stat writes before sending the reply the parent blocks
-    on, so the parent never reads a torn row.
+    ``(kind, payload)`` tuple.  Per shard the exchange is strictly
+    sequential, so a broadcast can send to every worker first and then
+    collect, overlapping their compute — and shards need not be in
+    phase with each other: each reply (and each shared-memory stat row
+    this worker writes) is tagged with this worker's ``window_seq``
+    watermark.  The reply is also the shared-memory barrier: a worker
+    finishes its in-place stat writes before sending the reply the
+    parent blocks on, so the parent never reads a torn row.
     """
     instances: Dict[Tuple[str, int], ServiceInstance] = {}
     order: List[Tuple[str, int]] = []  # service-add order, then index
@@ -148,15 +207,21 @@ def _shard_worker(conn) -> None:
     streaming = False
     plane: Optional[StatPlane] = None
     slots: Dict[Tuple[str, int], int] = {}
+    shard_id = 0
+    #: Windows this worker has advanced — the shard watermark.  Tagged
+    #: onto every delta reply and stat row; rebuilt exactly by journal
+    #: replay, carried through checkpoints by ``window_seq`` state.
+    window_seq = 0
     #: CPU-second anchor taken after init/restore, so the ``stop`` reply
     #: reports pure post-construction work (advance + ship + pickle) —
     #: the worker's half of the protocol-overhead accounting.
     cpu_anchor = 0.0
 
     def _apply_meta(meta: Dict[str, Any]) -> None:
-        nonlocal streaming, plane, slots
+        nonlocal streaming, plane, slots, shard_id
         streaming = meta.get("mode") == "streaming"
         slots = meta.get("slots") or {}
+        shard_id = meta.get("shard", 0)
         if plane is not None:
             plane.close()
             plane = None
@@ -172,18 +237,24 @@ def _shard_worker(conn) -> None:
         return tracker
 
     def _ship(
-        key: Tuple[str, int], full: bool = False
+        key: Tuple[str, int], full: bool = False, ship_stats: bool = False
     ) -> Optional[WireDelta]:
         """One instance's wire delta — or None when the stat plane
         already says everything (no records, tombstones, or gc change),
-        so the reply need not mention the instance at all."""
+        so the reply need not mention the instance at all.
+
+        ``ship_stats`` forces the counter block inline on the wire (and
+        skips the plane write): asynchronous advances run ahead of the
+        fleet watermark, so their stats must ride the buffered reply —
+        the plane row would be overwritten before the window commits.
+        """
         inst = instances[key]
         slot = slots.get(key)
-        if plane is not None and slot is not None:
-            plane.write_instance(slot, inst)
-            wire_stats: Optional[InstanceStats] = None
+        if ship_stats or plane is None or slot is None:
+            wire_stats: Optional[InstanceStats] = instance_stats(inst)
         else:
-            wire_stats = instance_stats(inst)  # fallback: ride the pipe
+            plane.write_instance(slot, inst, shard_id, window_seq)
+            wire_stats = None
         flag, records, tombstones = trackers[key].collect(
             inst.runtime, full=full
         )
@@ -198,13 +269,13 @@ def _shard_worker(conn) -> None:
             return None
         return (key[0], key[1], flag, records, tombstones, gc, wire_stats)
 
-    def _delta_reply(keys, full: bool = False) -> Tuple:
+    def _delta_reply(keys, full: bool = False, ship_stats: bool = False):
         entries = []
         for key in keys:
-            entry = _ship(key, full=full)
+            entry = _ship(key, full=full, ship_stats=ship_stats)
             if entry is not None:
                 entries.append(entry)
-        return ("delta", (plane is not None, entries))
+        return ("delta", (plane is not None, window_seq, entries))
 
     try:
         while True:
@@ -234,6 +305,8 @@ def _shard_worker(conn) -> None:
                 cpu_anchor = time.process_time()
             elif cmd == "advance":
                 window, only = msg[1], msg[2]
+                ship_stats = bool(msg[3]) if len(msg) > 3 else False
+                window_seq += 1
                 if streaming:
                     advanced: List[Tuple[str, int]] = []
                     for key in order:
@@ -241,7 +314,9 @@ def _shard_worker(conn) -> None:
                             continue
                         instances[key].advance_window(window)
                         advanced.append(key)
-                    conn.send(_delta_reply(advanced))
+                    conn.send(
+                        _delta_reply(advanced, ship_stats=ship_stats)
+                    )
                 else:
                     rows = []
                     for svc, idx in order:
@@ -300,15 +375,78 @@ def _shard_worker(conn) -> None:
                             tuple(sorted(tracker.shipped)) if tracker else (),
                             tracker.gc_sweeps if tracker else 0,
                         ))
-                    conn.send(("checkpoint", {"ok": True, "entries": entries}))
+                    conn.send(("checkpoint", {
+                        "ok": True, "entries": entries,
+                        "window_seq": window_seq,
+                    }))
                 except CheckpointUnsupported as exc:
-                    conn.send(("checkpoint", {"ok": False, "reason": str(exc)}))
+                    conn.send(("checkpoint", {
+                        "ok": False, "reason": str(exc),
+                        "window_seq": window_seq,
+                    }))
+            elif cmd == "evict":
+                # Re-balance, source side: checkpoint the moving
+                # instances (all-or-nothing), then drop them.  A decline
+                # leaves worker state untouched — deterministic, so a
+                # journal replay of a declined evict re-declines.
+                keys = [tuple(k) for k in msg[1]]
+                try:
+                    entries = []
+                    for key in keys:
+                        inst = instances.get(key)
+                        if inst is None:
+                            raise CheckpointUnsupported(
+                                f"unknown instance {key[0]}/i-{key[1]}"
+                            )
+                        tracker = trackers.get(key)
+                        if tracker is not None and (
+                            tracker.dirty or tracker.finished
+                        ):  # pragma: no cover - barrier makes this unreachable
+                            raise CheckpointUnsupported(
+                                f"unshipped deltas for {key[0]}/i-{key[1]}"
+                            )
+                        entries.append((
+                            key[0], key[1],
+                            checkpoint_instance(inst),
+                            tuple(sorted(tracker.shipped)) if tracker else (),
+                            tracker.gc_sweeps if tracker else 0,
+                        ))
+                except CheckpointUnsupported as exc:
+                    conn.send(("evicted", {
+                        "ok": False, "reason": str(exc),
+                        "window_seq": window_seq,
+                    }))
+                else:
+                    for key in keys:
+                        del instances[key]
+                        trackers.pop(key, None)
+                        order.remove(key)
+                    conn.send(("evicted", {
+                        "ok": True, "entries": entries,
+                        "window_seq": window_seq,
+                    }))
+            elif cmd == "adopt":
+                # Re-balance, target side: restore the blobs and resume
+                # their delta trackers exactly where the source left off.
+                entries, slot_updates = msg[1], msg[2]
+                slots.update(
+                    {tuple(k): v for k, v in slot_updates.items()}
+                )
+                for svc, idx, blob, shipped, gc_sweeps in entries:
+                    key = (svc, idx)
+                    instances[key] = restore_instance(blob)
+                    if key not in order:
+                        order.append(key)
+                    if streaming:
+                        _track(key, DeltaTracker(shipped, gc_sweeps))
+                conn.send(("adopted", window_seq))
             elif cmd == "restore":
                 state, meta = msg[1], msg[2]
                 _apply_meta(meta)
                 instances.clear()
                 order.clear()
                 trackers.clear()
+                window_seq = state.get("window_seq", 0)
                 for svc, idx, blob, shipped, gc_sweeps in state["entries"]:
                     key = (svc, idx)
                     instances[key] = restore_instance(blob)
@@ -343,7 +481,8 @@ class _InstanceMirror:
     Exposes the observability slice of :class:`ServiceInstance`
     (``rss()``, ``leaked_goroutines()``, ``cpu_utilization()``, ``mix``)
     so consumers like :class:`repro.remedy.StagedRollout` drive a
-    sharded service exactly as they drive a live one.
+    sharded service exactly as they drive a live one.  Used by batch
+    mode; streaming mode uses the row-backed :class:`_RowMirror`.
     """
 
     __slots__ = (
@@ -378,6 +517,71 @@ class _InstanceMirror:
         return f"<_InstanceMirror {self.name!r} shard={self.shard}>"
 
 
+class _RowMirror:
+    """Streaming-mode instance mirror backed by the fleet's row cache.
+
+    The vectorized stat sweep publishes one validated buffer into
+    ``ShardedFleet._rows`` per window; a mirror is just a window onto
+    its slot — no per-sweep attribute writes at all, and the (rare)
+    property reads unpack only the row's leading fields.  Same
+    observability surface as :class:`_InstanceMirror`.
+    """
+
+    __slots__ = ("name", "mix", "shard", "_fleet", "_slot")
+
+    def __init__(
+        self, name: str, mix: RequestMix, shard: int,
+        fleet: "ShardedFleet", slot: int,
+    ):
+        self.name = name
+        self.mix = mix
+        self.shard = shard
+        self._fleet = fleet
+        self._slot = slot
+
+    @property
+    def _head(self) -> Optional[Tuple]:
+        raw = self._fleet._rows.raw(self._slot)
+        return row_head(raw) if raw is not None else None
+
+    @property
+    def t(self) -> float:
+        head = self._head
+        return head[F_T] if head is not None else 0.0
+
+    @property
+    def rss_bytes(self) -> int:
+        head = self._head
+        return head[F_RSS] if head is not None else 0
+
+    @property
+    def blocked(self) -> int:
+        head = self._head
+        return head[F_BLOCKED] if head is not None else 0
+
+    @property
+    def cpu_percent(self) -> float:
+        head = self._head
+        return head[F_CPU] if head is not None else 0.0
+
+    @property
+    def goroutines(self) -> int:
+        head = self._head
+        return head[F_GOROUTINES] if head is not None else 0
+
+    def rss(self) -> int:
+        return self.rss_bytes
+
+    def leaked_goroutines(self) -> int:
+        return self.blocked
+
+    def cpu_utilization(self) -> float:
+        return self.cpu_percent
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<_RowMirror {self.name!r} shard={self.shard}>"
+
+
 class ShardedService:
     """The parent-side handle for one service running across shards.
 
@@ -394,8 +598,12 @@ class ShardedService:
         self.seed = seed
         self.deploys = 0
         self.history: List[ServiceSample] = []
-        self.instances: List[_InstanceMirror] = []
+        self.instances: List[Any] = []
         self.shard_of: List[int] = []  # instance index -> worker id
+        #: First stat-plane slot of this service (slots are contiguous
+        #: per service in add order — what lets the parent aggregate a
+        #: sample from one slice of the row cache).
+        self.slot_base = 0
 
     @property
     def now(self) -> float:
@@ -478,8 +686,10 @@ class _WorkerFault(Exception):
 #: way — a resync reply is authoritative whenever it arrives, and a
 #: checkpoint re-taken after replay captures the identical state);
 #: ``restore`` is injected by the supervisor outside the journal; and
-#: ``stop`` is terminal.
-_MUTATING = frozenset({"init", "advance", "restart"})
+#: ``stop`` is terminal.  ``evict``/``adopt`` (re-balancing) are
+#: mutating: replaying an evict re-declines or re-drops the same
+#: instances, replaying an adopt re-restores the same blobs.
+_MUTATING = frozenset({"init", "advance", "restart", "evict", "adopt"})
 
 
 class ShardedFleet:
@@ -490,14 +700,16 @@ class ShardedFleet:
         with ShardedFleet(shards=4) as fleet:
             payments = fleet.add_service(config, seed=1)
             fleet.start()
-            fleet.run_days(7.0)
+            fleet.run_days(7.0)            # lockstep windows
+            fleet.run_days_async(7.0)      # shards free-run (watermarked)
             suspects = fleet.suspects(threshold=10_000)   # streaming: O(1) wire
             result = leakprof.daily_run(fleet.snapshots(), now=1.0)
 
     ``add_service`` must happen before ``start``; deploys and partial
     deploys work any time after.  Instances are assigned round-robin
     across shards in (service add order, index) order — the assignment
-    affects only wall-clock balance, never results.
+    affects only wall-clock balance, never results — and can be moved
+    later with :meth:`rebalance`.
 
     Streaming knobs (``mode="streaming"``, the default):
 
@@ -567,6 +779,12 @@ class ShardedFleet:
         self._stat_plane: Optional[StatPlane] = None
         self._slots: Dict[Tuple[str, int], int] = {}
         self._key_shard: Dict[Tuple[str, int], int] = {}
+        #: The published latest-row store (watermark-validated buffer +
+        #: sparse overrides; what mirrors, views, and samples read).
+        self._rows = RowCache()
+        #: slot -> owning shard as an ``array('q')`` column, cached for
+        #: the sweep's C-level compare; invalidated by rebalancing.
+        self._shard_col_cache: Optional[array] = None
         #: per shard: did its last delta reply confirm the stat plane?
         #: Until then (and whenever attachment failed) its stats ride
         #: the wire and the parent must not trust that shard's rows.
@@ -579,6 +797,35 @@ class ShardedFleet:
             from repro.leakprof.streaming import OnlineSuspectScorer
 
             self.scorer = OnlineSuspectScorer()
+        # -- async window state ----------------------------------------
+        #: per shard: highest window received (the shard watermark).
+        self._shard_window: List[int] = [0] * shards
+        #: Fleet watermark W: highest window folded into views/scorer/
+        #: histories — always min(shard watermarks).
+        self._committed_window = 0
+        #: per shard: buffered (window, payload) replies not yet committed.
+        self._pending: List[Deque[Tuple[int, Any]]] = [
+            deque() for _ in range(shards)
+        ]
+        #: per shard: the async advance message awaiting a reply.
+        self._inflight: List[Optional[Tuple]] = [None] * shards
+        self._sent_at: List[float] = [0.0] * shards
+        #: per shard: EMA of advance round-trip seconds (lag signal).
+        self._advance_ema: List[float] = [0.0] * shards
+        #: window index -> (window seconds, only) for catch-up/commit.
+        self._window_args: Dict[int, Tuple[float, Optional[str]]] = {}
+        self._checkpoint_due = False
+        self._resync_due = False
+        #: Widest (max - min) shard-watermark spread ever observed.
+        self.max_window_spread = 0
+        #: Deltas dropped by the view watermark guard.
+        self.stale_deltas = 0
+        # -- re-balancing ----------------------------------------------
+        self.rebalances = 0
+        self.instances_moved = 0
+        #: Committed windows to wait between lag-triggered rebalances.
+        self.rebalance_cooldown = 2
+        self._last_rebalance_window = -(10 ** 9)
         # -- accounting ------------------------------------------------
         self.wire_bytes_total = 0
         self.wire_bytes_by_command: Dict[str, int] = {}
@@ -608,20 +855,34 @@ class ShardedFleet:
         if config.name in self.services:
             raise ValueError(f"duplicate service {config.name!r}")
         service = ShardedService(self, config, seed)
+        service.slot_base = self._next_ordinal
         for index in range(config.instances):
             shard = self._next_ordinal % self.num_shards
             self._next_ordinal += 1
             service.shard_of.append(shard)
             name = f"{config.name}/i-{index}"
-            service.instances.append(
-                _InstanceMirror(name=name, mix=config.mix, shard=shard, t=0.0)
-            )
             if self.mode == "streaming":
                 key = (config.name, index)
-                self._slots[key] = len(self._slots)
+                slot = len(self._slots)
+                self._slots[key] = slot
                 self._key_shard[key] = shard
-                self._views[key] = InstanceView(
+                self._shard_col_cache = None
+                view = InstanceView(
                     config.name, index, name, config.base_rss
+                )
+                view.bind_cache(self._rows, slot)
+                self._views[key] = view
+                service.instances.append(
+                    _RowMirror(
+                        name=name, mix=config.mix, shard=shard,
+                        fleet=self, slot=slot,
+                    )
+                )
+            else:
+                service.instances.append(
+                    _InstanceMirror(
+                        name=name, mix=config.mix, shard=shard, t=0.0
+                    )
                 )
         self.services[config.name] = service
         return service
@@ -649,6 +910,7 @@ class ShardedFleet:
                     slots[key] = self._slots[key]
         return {
             "mode": "streaming",
+            "shard": shard,
             "shm": (
                 self._stat_plane.name
                 if self._stat_plane is not None else None
@@ -676,10 +938,14 @@ class ShardedFleet:
                      indices, 0.0)
                 )
         shards = list(range(self.num_shards))
-        self._ingest(self._exchange([
+        payloads = self._exchange([
             (shard, ("init", specs[shard], self._worker_meta(shard)))
             for shard in shards
-        ]), shards)
+        ])
+        if self.mode == "streaming":
+            for shard, payload in zip(shards, payloads):
+                self._note_window(shard, payload[1], advance=False)
+        self._ingest(payloads, shards)
         for service in self.services.values():
             service.deploys += 1  # matches Service._start_instances
         return self
@@ -702,11 +968,11 @@ class ShardedFleet:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):  # pragma: no cover
                 continue
-        for conn in self._conns:
+        for shard, conn in enumerate(self._conns):
             if conn is None:
                 continue
             try:
-                if conn.poll(1.0):
+                while conn.poll(1.0):
                     reply = conn.recv()
                     if (
                         isinstance(reply, tuple)
@@ -715,6 +981,13 @@ class ShardedFleet:
                         and isinstance(reply[1], float)
                     ):
                         self.worker_cpu_seconds += reply[1]
+                        break
+                    if self._inflight[shard] is not None:
+                        # A stale async advance reply preceding the stop
+                        # ack — drain it and keep looking.
+                        self._inflight[shard] = None
+                        continue
+                    break
             except (EOFError, OSError):
                 continue
         for proc in procs:
@@ -753,47 +1026,66 @@ class ShardedFleet:
     def _exchange(self, pairs: List[Tuple[int, Tuple]]) -> List[Any]:
         """Send each ``(shard, message)`` pair, then collect every reply.
 
-        The single copy of the wire protocol: sending everything before
-        receiving anything is what overlaps the workers' compute — the
-        parallelism of the whole module.  The collect side is supervised:
-        a worker that died, wedged past ``worker_deadline``, or replied
-        garbage is respawned and its journal replayed before the exchange
-        returns, so callers above never see the crash.
+        The lockstep half of the wire protocol: sending everything
+        before receiving anything is what overlaps the workers' compute.
+        The collect side is supervised (see :meth:`_collect_reply`), so
+        callers above never see a crash.  Must not run while async
+        advances are in flight — the per-shard pipe is strictly
+        request/reply.
         """
         if not self._started:
             raise RuntimeError("fleet not started")
+        if any(message is not None for message in self._inflight):
+            raise RuntimeError(
+                "exchange attempted with async advances in flight; "
+                "drain() or barrier() first"
+            )
         for shard, message in pairs:
             self._send(shard, message)
         payloads: List[Any] = []
         nbytes_list: List[int] = []
-        reg = obs.default_registry()
         for shard, message in pairs:
-            deadline = _monotonic() + self.worker_deadline
-            try:
-                _kind, payload = self._recv(shard, deadline)
-            except _WorkerFault as fault:
-                _kind, payload = self._respawn_and_replay(
-                    shard, message, reason=fault.reason
-                )
-            payloads.append(payload)
-            nbytes = self._last_recv_nbytes
-            nbytes_list.append(nbytes)
-            command = message[0]
-            self.wire_bytes_by_command[command] = (
-                self.wire_bytes_by_command.get(command, 0) + nbytes
-            )
-            if (
-                reg.enabled
-                and self.mode == "streaming"
-                and command in _DELTA_COMMANDS
-            ):
-                reg.counter(
-                    "repro_fleet_delta_bytes_total",
-                    "Bytes of delta-snapshot replies received from shard "
-                    "workers",
-                ).inc(nbytes)
+            payloads.append(self._collect_reply(shard, message))
+            nbytes_list.append(self._last_recv_nbytes)
         self._last_exchange_nbytes = nbytes_list
         return payloads
+
+    def _collect_reply(
+        self, shard: int, message: Tuple,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """Supervised single-reply collection (shared by sync + async).
+
+        A worker that died, wedged past ``worker_deadline``, or replied
+        garbage is respawned and its journal replayed before this
+        returns, so callers never see the crash.  Also the single copy
+        of wire-byte accounting.
+        """
+        if deadline is None:
+            deadline = _monotonic() + self.worker_deadline
+        try:
+            _kind, payload = self._recv(shard, deadline)
+        except _WorkerFault as fault:
+            _kind, payload = self._respawn_and_replay(
+                shard, message, reason=fault.reason
+            )
+        command = message[0]
+        nbytes = self._last_recv_nbytes
+        self.wire_bytes_by_command[command] = (
+            self.wire_bytes_by_command.get(command, 0) + nbytes
+        )
+        reg = obs.default_registry()
+        if (
+            reg.enabled
+            and self.mode == "streaming"
+            and command in _DELTA_COMMANDS
+        ):
+            reg.counter(
+                "repro_fleet_delta_bytes_total",
+                "Bytes of delta-snapshot replies received from shard "
+                "workers",
+            ).inc(nbytes)
+        return payload
 
     def _send(self, shard: int, message: Tuple) -> None:
         """Journal (if mutating) and transmit one command to one shard.
@@ -907,6 +1199,12 @@ class ShardedFleet:
         consulted during replay and replay does not advance
         ``op_index`` — fault coordinates stay a pure function of the
         logical command sequence.
+
+        Journaled ``init`` entries are replayed with *refreshed* worker
+        metadata: the slot map reflects the current (post-rebalance)
+        ownership, so a replaying worker never writes stat rows for an
+        instance it has since evicted — instance construction itself is
+        meta-independent, so state stays byte-identical.
         """
         self.worker_restarts += 1
         if self.worker_restarts > self.max_respawns:
@@ -948,6 +1246,8 @@ class ShardedFleet:
             self.replay_lengths.append(len(self._journal[shard]))
             last: Optional[Tuple[str, Any]] = None
             for entry in self._journal[shard]:
+                if entry[0] == "init":
+                    entry = ("init", entry[1], self._worker_meta(shard))
                 self._conns[shard].send(entry)
                 last = self._recv_replay(shard)
             span.attributes.update(
@@ -964,18 +1264,272 @@ class ShardedFleet:
             self._conns[shard].send(message)
             return self._recv_replay(shard)
 
+    # -- watermarks and async windows ----------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """The fleet watermark W: windows committed into views/scorer."""
+        return self._committed_window
+
+    @property
+    def shard_windows(self) -> Tuple[int, ...]:
+        """Each shard's own window watermark (highest reply received)."""
+        return tuple(self._shard_window)
+
+    def _note_window(self, shard: int, window: int, advance: bool) -> None:
+        """Validate and record one reply's window watermark.
+
+        An ``advance`` reply must be exactly the next window; any other
+        reply must carry the shard's current watermark.  Anything else
+        is a watermark regression/skip — a protocol violation the
+        parent refuses to ingest.
+        """
+        have = self._shard_window[shard]
+        if advance:
+            if window != have + 1:
+                raise RuntimeError(
+                    f"shard {shard} watermark violation: advance reply "
+                    f"tagged window {window}, expected {have + 1}"
+                )
+            self._shard_window[shard] = window
+        elif window != have:
+            raise RuntimeError(
+                f"shard {shard} watermark regression: reply tagged "
+                f"window {window}, shard watermark is {have}"
+            )
+        spread = max(self._shard_window) - min(self._shard_window)
+        if spread > self.max_window_spread:
+            self.max_window_spread = spread
+        reg = obs.default_registry()
+        if reg.enabled:
+            reg.gauge(
+                "repro_fleet_shard_window",
+                "Per-shard window watermark (highest advance reply)",
+                ("shard",),
+            ).labels(str(shard)).set(float(self._shard_window[shard]))
+
+    def _begin(self, shard: int, message: Tuple) -> None:
+        self._send(shard, message)
+        self._inflight[shard] = message
+        self._sent_at[shard] = _monotonic()
+
+    def begin_advance(
+        self, shard: int, window: float = WINDOW_SECONDS
+    ) -> int:
+        """Send one shard's next window advance without waiting for it.
+
+        Returns the window index the shard will compute.  Collect the
+        reply with :meth:`poll`, :meth:`join_shard`, :meth:`drain`, or
+        :meth:`barrier`.  All shards must advance a given window index
+        with the same ``window`` seconds (determinism), so a conflicting
+        re-registration raises.
+        """
+        if self.mode != "streaming":
+            raise RuntimeError("async windows require mode='streaming'")
+        if not self._started:
+            raise RuntimeError("fleet not started")
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"no shard {shard}")
+        if self._inflight[shard] is not None:
+            raise RuntimeError(f"shard {shard} already has an advance in flight")
+        nxt = self._shard_window[shard] + 1
+        args = self._window_args.get(nxt)
+        if args is None:
+            self._window_args[nxt] = (window, None)
+        elif args != (window, None):
+            raise ValueError(
+                f"window {nxt} already begun with window={args[0]}, "
+                f"only={args[1]!r}"
+            )
+        self._begin(shard, ("advance", window, None, True))
+        return nxt
+
+    def join_shard(self, shard: int) -> None:
+        """Block until ``shard``'s in-flight advance is collected."""
+        if self._inflight[shard] is not None:
+            self._collect_shard(shard)
+            self._commit_ready()
+
+    def advance_shard(
+        self, shard: int, window: float = WINDOW_SECONDS
+    ) -> int:
+        """Advance one shard a window and wait for it (other shards idle).
+
+        The blocking single-shard primitive: drives shards deliberately
+        out of phase.  Returns the shard's new window watermark.
+        """
+        self.begin_advance(shard, window)
+        self.join_shard(shard)
+        return self._shard_window[shard]
+
+    def poll(self, timeout: float = 0.0) -> int:
+        """Collect any ready async replies; commit newly-complete windows.
+
+        Returns how many replies were collected.  Detects dead/wedged
+        workers while polling (pipe EOF wakes the wait; a worker silent
+        past ``worker_deadline`` is respawned).
+        """
+        if self.mode != "streaming":
+            raise RuntimeError("async windows require mode='streaming'")
+        busy = [
+            shard for shard in range(self.num_shards)
+            if self._inflight[shard] is not None
+        ]
+        if not busy:
+            return 0
+        conn_of = {self._conns[shard]: shard for shard in busy}
+        try:
+            ready = _mp_wait(list(conn_of), timeout)
+        except OSError:  # pragma: no cover - dying pipe mid-wait
+            ready = list(conn_of)
+        ready_shards = {conn_of[conn] for conn in ready}
+        now = _monotonic()
+        collected = 0
+        for shard in busy:
+            proc = self._procs[shard]
+            if (
+                shard in ready_shards
+                or proc is None
+                or not proc.is_alive()
+                or now - self._sent_at[shard] > self.worker_deadline
+            ):
+                self._collect_shard(shard)
+                collected += 1
+        if collected:
+            self._commit_ready()
+        return collected
+
+    def drain(self) -> None:
+        """Collect every in-flight async advance (no catch-up)."""
+        while any(message is not None for message in self._inflight):
+            self.poll(timeout=0.25)
+
+    def barrier(self) -> None:
+        """Drain, catch every laggard up to the fastest shard, commit all.
+
+        After a barrier every shard watermark equals the fleet
+        watermark — the required instant for whole-fleet operations
+        (checkpoint, resync, deploys, rebalance, lockstep advances).
+        """
+        if self.mode != "streaming" or not self._started:
+            return
+        self.drain()
+        target = max(self._shard_window)
+        for shard in range(self.num_shards):
+            while self._shard_window[shard] < target:
+                nxt = self._shard_window[shard] + 1
+                seconds, only = self._window_args.get(
+                    nxt, (WINDOW_SECONDS, None)
+                )
+                self._begin(shard, ("advance", seconds, only, True))
+                self._collect_shard(shard)
+        self._commit_ready()
+
+    def _collect_shard(self, shard: int) -> None:
+        """Collect one shard's in-flight advance reply and buffer it."""
+        message = self._inflight[shard]
+        self._inflight[shard] = None
+        payload = self._collect_reply(
+            shard, message,
+            deadline=self._sent_at[shard] + self.worker_deadline,
+        )
+        duration = _monotonic() - self._sent_at[shard]
+        ema = self._advance_ema[shard]
+        self._advance_ema[shard] = (
+            duration if ema == 0.0 else 0.5 * ema + 0.5 * duration
+        )
+        window = payload[1]
+        self._note_window(shard, window, advance=True)
+        self._pending[shard].append((window, payload))
+
+    def _commit_ready(self) -> None:
+        """Fold every window all shards have reached into parent state.
+
+        The commit is the only place views, the scorer, and
+        ``ServiceSample`` histories move — always one whole window at a
+        time, in window order, with every shard's contribution — which
+        is why a query at watermark W is byte-identical to a lockstep
+        run advanced exactly W windows.
+        """
+        reg = obs.default_registry()
+        while True:
+            floor = min(self._shard_window)
+            if self._committed_window >= floor:
+                break
+            window = self._committed_window + 1
+            payloads: List[Any] = []
+            shards: List[int] = []
+            for shard in range(self.num_shards):
+                queue = self._pending[shard]
+                if not queue or queue[0][0] != window:  # pragma: no cover
+                    raise RuntimeError(
+                        f"shard {shard} missing buffered reply for window "
+                        f"{window} at commit"
+                    )
+                payloads.append(queue.popleft()[1])
+                shards.append(shard)
+            self._ingest(payloads, shards)
+            self._committed_window = window
+            _seconds, only = self._window_args.pop(
+                window, (WINDOW_SECONDS, None)
+            )
+            for service in self.services.values():
+                if only is None or service.config.name == only:
+                    self._sample(service)
+            if self.scorer is not None:
+                self.scorer.end_window()
+            if only is None:
+                self._windows_advanced += 1
+                if (
+                    self.checkpoint_every
+                    and self._windows_advanced % self.checkpoint_every == 0
+                ):
+                    self._checkpoint_due = True
+                if (
+                    self.resync_every
+                    and self._windows_advanced % self.resync_every == 0
+                ):
+                    self._resync_due = True
+            if reg.enabled:
+                reg.gauge(
+                    "repro_fleet_watermark",
+                    "Fleet watermark W: windows committed into views",
+                ).set(float(self._committed_window))
+
+    def _run_maintenance(self) -> None:
+        """Perform cadence work (checkpoint/resync) flagged by commits.
+
+        Runs at lockstep advance boundaries and between async pump
+        rounds — never inside a commit, because both operations need a
+        quiesced fleet (they barrier internally).
+        """
+        if self._checkpoint_due:
+            self._checkpoint_due = False
+            self.checkpoint()
+        if self._resync_due:
+            self._resync_due = False
+            self.resync()
+
+    # -- ingest --------------------------------------------------------------
+
     def _ingest(self, payloads: List[Any], shards: List[int]) -> None:
-        """Fold one exchange's per-shard payloads into parent state.
+        """Fold one window's (or exchange's) per-shard payloads in.
 
         ``shards`` aligns with ``payloads`` — which worker each payload
         came from, so streaming ingest knows whose stat-plane rows just
         became current.
         """
         if self.mode == "streaming":
+            self._rows.begin()
             wire_fed: set = set()
+            expected = None
             for shard, payload in zip(shards, payloads):
                 self._apply_deltas(shard, payload, wire_fed)
-            self._refresh_stats(wire_fed)
+                window = payload[1]
+                expected = (
+                    window if expected is None else max(expected, window)
+                )
+            self._finish_sweep(expected if expected is not None else 0)
         else:
             rows: List[_Row] = []
             for payload in payloads:
@@ -988,27 +1542,32 @@ class ShardedFleet:
             services[row[0]].instances[row[1]].apply(row)
 
     def _apply_deltas(
-        self, shard: int, payload: Tuple[bool, List[WireDelta]],
+        self, shard: int, payload: Tuple[bool, int, List[WireDelta]],
         wire_fed: set,
     ) -> None:
-        """Fold one worker's delta batch into views, scorer, mirrors.
+        """Fold one worker's delta batch into views, scorer, row cache.
 
-        Entries carrying inline stats (the no-shm fallback) update their
-        view and mirror here and are added to ``wire_fed``; plane-backed
-        stats are left to the :meth:`_refresh_stats` sweep that follows
-        the whole exchange.
+        Entries carrying inline stats (async advances, the no-shm
+        fallback) update their view and override their row-cache slot
+        here; plane-backed stats are left to the :meth:`_finish_sweep`
+        that follows the whole ingest.  A delta the view rejects as
+        stale (older than its watermark) is dropped *before* it can
+        feed the scorer.
         """
         scorer = self.scorer
-        attached, deltas = payload
+        attached, window, deltas = payload
         self._shard_attached[shard] = attached
         total_records = 0
+        stale = 0
         for delta in deltas:
             svc, idx, full, records, tombstones, _gc, wire_stats = delta
             key = (svc, idx)
             view = self._views[key]
+            if not view.apply(delta, stats=wire_stats, window=window):
+                stale += 1
+                continue
             if full:
                 scorer.reset_instance(key)
-            view.apply(delta, stats=wire_stats)
             for template, blocked_since in records:
                 scorer.on_record(key, template, blocked_since)
             for gid in tombstones:
@@ -1016,93 +1575,131 @@ class ShardedFleet:
             total_records += len(records)
             if wire_stats is not None:
                 wire_fed.add(key)
-                self.services[svc].instances[idx].apply((
-                    svc, idx, wire_stats.t, wire_stats.rss_bytes,
-                    wire_stats.blocked, wire_stats.cpu_percent,
-                    wire_stats.goroutines,
-                ))
+                slot = self._slots[key]
+                self._rows.overrides[slot] = raw_from_stats(
+                    wire_stats, shard, window
+                )
+                self._rows.view_skip.add(slot)
         reg = obs.default_registry()
+        if stale:
+            self.stale_deltas += stale
+            if reg.enabled:
+                reg.counter(
+                    "repro_fleet_stale_deltas_total",
+                    "Delta entries dropped by the view watermark guard",
+                ).inc(stale)
         if reg.enabled and deltas:
             reg.counter(
                 "repro_fleet_delta_goroutines_total",
                 "Goroutine records shipped in delta snapshots",
             ).inc(total_records)
 
-    def _refresh_stats(self, wire_fed: set) -> None:
-        """Sweep the shared stat plane into views and mirrors.
+    def _finish_sweep(self, expected: int) -> None:
+        """Publish this ingest's stat sweep into the row cache.
 
-        Workers write every instance's counter row in-place each ship,
-        so after an exchange the plane is authoritative for every key on
-        an attached shard; re-reading a row an exchange didn't touch is
-        idempotent.  Keys already fed inline (``wire_fed``) and keys on
-        unattached shards are skipped — their truth rides the wire.
+        :func:`~repro.fleet.shm.sweep_plane` grabs the whole plane in
+        one copy and validates every row's ``(shard, window)`` watermark
+        with two C-level ``array`` column compares (the vectorized sweep
+        — gated ≥2x over the per-key loop at 10k instances in
+        ``bench_fleet_scale.py``).  On the fast path no per-slot Python
+        work happens at all; rows an exchange didn't touch (an ``only=``
+        advance), rows a replaying respawned worker wrote at an old
+        window, and rows of unattached shards keep their previously
+        committed copy.  Slots fed inline during :meth:`_apply_deltas`
+        were already overridden — their truth rode the wire — and views
+        pull their rows lazily, at query time, keyed on the cache epoch.
         """
         plane = self._stat_plane
-        if plane is None or not any(self._shard_attached):
-            return
-        views = self._views
-        services = self.services
-        attached = self._shard_attached
-        key_shard = self._key_shard
-        read_row = plane.read_row
-        for key, slot in self._slots.items():
-            if not attached[key_shard[key]] or key in wire_fed:
-                continue
-            # Copy the row out now; build the InstanceStats only if a
-            # snapshot or suspect query ever asks for this instance.
-            row = read_row(slot)
-            views[key].defer_stats(lambda row=row: stats_from_row(row))
-            svc, idx = key
-            mirror = services[svc].instances[idx]
-            mirror.t = row[0]
-            mirror.cpu_percent = row[1]
-            mirror.rss_bytes = row[2]
-            mirror.blocked = row[3]
-            mirror.goroutines = row[4]
+        if plane is not None and any(self._shard_attached):
+            sweep_plane(
+                plane, self._next_ordinal, self._rows, expected,
+                self._shard_col(), self._shard_attached,
+            )
+        else:
+            # No plane to sweep: every slot inherits wire truth or its
+            # previous row; the epoch still advances.
+            self._rows.finalize(b"", expected, range(self._next_ordinal))
+
+    def _shard_col(self) -> array:
+        """Expected slot→shard owner column for the sweep's compare."""
+        col = self._shard_col_cache
+        if col is None or len(col) != self._next_ordinal:
+            col = array("q", bytes(8 * self._next_ordinal))
+            slots = self._slots
+            for key, shard in self._key_shard.items():
+                col[slots[key]] = shard
+            self._shard_col_cache = col
+        return col
+
+    # -- windows -------------------------------------------------------------
 
     def _advance(self, window: float, only: Optional[str] = None) -> None:
         shards = list(range(self.num_shards))
-        self._ingest(self._exchange([
-            (shard, ("advance", window, only)) for shard in shards
-        ]), shards)
-        for service in self.services.values():
-            if only is None or service.config.name == only:
-                self._sample(service)
-        if self.scorer is not None:
-            self.scorer.end_window()
-        if only is None:
-            self._windows_advanced += 1
-            if (
-                self.checkpoint_every
-                and self._windows_advanced % self.checkpoint_every == 0
-            ):
-                self.checkpoint()
-            if (
-                self.mode == "streaming"
-                and self.resync_every
-                and self._windows_advanced % self.resync_every == 0
-            ):
-                self.resync()
+        if self.mode != "streaming":
+            self._ingest(self._exchange([
+                (shard, ("advance", window, only, False)) for shard in shards
+            ]), shards)
+            for service in self.services.values():
+                if only is None or service.config.name == only:
+                    self._sample(service)
+            if only is None:
+                self._windows_advanced += 1
+                if (
+                    self.checkpoint_every
+                    and self._windows_advanced % self.checkpoint_every == 0
+                ):
+                    self.checkpoint()
+            return
+        # Streaming: a lockstep advance is the synchronous special case
+        # of the async machinery — barrier, advance every shard one
+        # window (stats via the shm plane), commit, run cadence work.
+        self.barrier()
+        nxt = self._shard_window[0] + 1
+        self._window_args[nxt] = (window, only)
+        for shard in shards:
+            self._begin(shard, ("advance", window, only, False))
+        self.drain()
+        self._run_maintenance()
 
     def _sample(self, service: ShardedService) -> ServiceSample:
-        """Aggregate one window's sample over index-ordered mirrors.
+        """Aggregate one window's sample over index-ordered instances.
 
         Delegates to the shared ``aggregate_sample`` — literally the
         same arithmetic ``Service.advance_window`` runs, which is the
-        byte-identical-histories guarantee made structural."""
-        sample = aggregate_sample(
-            service.now,
-            (
+        byte-identical-histories guarantee made structural.  Streaming
+        mode aggregates straight off the committed row cache (one
+        contiguous slice per service); batch mode walks the mirrors.
+        """
+        if self.mode == "streaming":
+            base = service.slot_base
+            count = len(service.instances)
+            ts, cpu, rss, blocked, goroutines = self._rows.sample_columns(
+                self._next_ordinal
+            )
+            sample = aggregate_sample(
+                ts[base] if count else 0.0,
+                zip(
+                    rss[base: base + count],
+                    blocked[base: base + count],
+                    cpu[base: base + count],
+                    goroutines[base: base + count],
+                ),
+                service.config.instances_represented,
+            )
+        else:
+            sample = aggregate_sample(
+                service.now,
                 (
-                    mirror.rss_bytes,
-                    mirror.blocked,
-                    mirror.cpu_percent,
-                    mirror.goroutines,
-                )
-                for mirror in service.instances
-            ),
-            service.config.instances_represented,
-        )
+                    (
+                        mirror.rss_bytes,
+                        mirror.blocked,
+                        mirror.cpu_percent,
+                        mirror.goroutines,
+                    )
+                    for mirror in service.instances
+                ),
+                service.config.instances_represented,
+            )
         service.history.append(sample)
         return sample
 
@@ -1110,17 +1707,22 @@ class ShardedFleet:
         self, service: ShardedService, indices: List[int], mix: RequestMix
     ) -> None:
         """Restart ``indices`` on ``mix`` — deploys as shard commands."""
+        self.barrier()
         start_time = service.now
         by_shard: Dict[int, List[int]] = {}
         for index in indices:
             by_shard.setdefault(service.shard_of[index], []).append(index)
-        self._ingest(self._exchange(
+        payloads = self._exchange(
             [
                 (shard, ("restart", service.config, service.seed,
                          service.deploys, shard_indices, mix, start_time))
                 for shard, shard_indices in by_shard.items()
             ]
-        ), list(by_shard))
+        )
+        if self.mode == "streaming":
+            for shard, payload in zip(list(by_shard), payloads):
+                self._note_window(shard, payload[1], advance=False)
+        self._ingest(payloads, list(by_shard))
         for index in indices:
             service.instances[index].mix = mix
 
@@ -1136,10 +1738,14 @@ class ShardedFleet:
         """
         if self.mode != "streaming":
             raise RuntimeError("resync requires mode='streaming'")
+        self.barrier()
         shards = list(range(self.num_shards))
-        self._ingest(self._exchange([
+        payloads = self._exchange([
             (shard, ("resync", None)) for shard in shards
-        ]), shards)
+        ])
+        for shard, payload in zip(shards, payloads):
+            self._note_window(shard, payload[1], advance=False)
+        self._ingest(payloads, shards)
         self.full_resyncs += 1
         reg = obs.default_registry()
         if reg.enabled:
@@ -1156,6 +1762,7 @@ class ShardedFleet:
         :class:`repro.fleet.checkpoint.CheckpointUnsupported`) declines;
         its journal keeps growing and ``checkpoints_declined`` counts it.
         """
+        self.barrier()
         reg = obs.default_registry()
         started = _monotonic()
         with obs.default_tracer().span(
@@ -1202,9 +1809,11 @@ class ShardedFleet:
     ):
         """The current LeakProf suspect set from the online scorer.
 
-        O(signatures) parent-side work and zero wire traffic — and
-        list-equal to ``scan_fleet`` over ``snapshots()`` profiles
-        (the parity the streaming plane is gated on).
+        O(signatures) parent-side work and zero wire traffic — answered
+        at the fleet watermark ``W``: list-equal to ``scan_fleet`` over
+        the ``snapshots()`` of a lockstep run advanced exactly ``W``
+        windows (the parity the streaming plane is gated on), no matter
+        how far ahead individual shards are running.
         """
         if self.mode != "streaming":
             raise RuntimeError("online scoring requires mode='streaming'")
@@ -1222,13 +1831,185 @@ class ShardedFleet:
             apply_transient_filter=apply_transient_filter,
         )
 
+    # -- re-balancing --------------------------------------------------------
+
+    def plan_rebalance(
+        self, emas: Optional[Dict[int, float]] = None
+    ) -> Dict[Tuple[str, int], int]:
+        """Plan moves from the slowest shard to the fastest (maybe {}).
+
+        ``emas`` overrides the measured advance-latency EMAs (shard →
+        seconds); the plan moves the upper half of the slowest shard's
+        keys to the fastest shard.  Deterministic given the EMAs —
+        and because results are topology-invariant, *any* plan is
+        correctness-neutral.
+        """
+        if self.num_shards < 2:
+            return {}
+        lag = [
+            (emas.get(shard, 0.0) if emas is not None
+             else self._advance_ema[shard])
+            for shard in range(self.num_shards)
+        ]
+        source = max(range(self.num_shards), key=lambda s: (lag[s], -s))
+        target = min(range(self.num_shards), key=lambda s: (lag[s], s))
+        if source == target:
+            return {}
+        keys = sorted(
+            key for key, shard in self._key_shard.items() if shard == source
+        )
+        if len(keys) < 2:
+            return {}
+        moving = keys[(len(keys) + 1) // 2:]
+        return {key: target for key in moving}
+
+    def maybe_rebalance(
+        self, lag: float = 2.0, emas: Optional[Dict[int, float]] = None
+    ) -> Dict[Tuple[str, int], int]:
+        """Rebalance iff one shard's advance EMA lags the fastest by ``lag``.
+
+        The lag signal is wall-clock (measured per-shard advance
+        round-trip EMAs, overridable via ``emas`` for tests), the
+        response is :meth:`rebalance` — so *whether* it fires varies
+        with host load, but *what the fleet computes* never does.
+        Rate-limited by ``rebalance_cooldown`` committed windows.
+        """
+        if self.mode != "streaming" or self.num_shards < 2:
+            return {}
+        if (
+            self._committed_window - self._last_rebalance_window
+            < self.rebalance_cooldown
+        ):
+            return {}
+        values = [
+            (emas.get(shard, 0.0) if emas is not None
+             else self._advance_ema[shard])
+            for shard in range(self.num_shards)
+        ]
+        fastest = min(value for value in values if value > 0.0) \
+            if any(value > 0.0 for value in values) else 0.0
+        slowest = max(values)
+        if fastest <= 0.0 or slowest < lag * fastest:
+            return {}
+        moves = self.plan_rebalance(emas)
+        if moves:
+            self.rebalance(moves)
+        return moves
+
+    def rebalance(
+        self, moves: Optional[Dict[Tuple[str, int], int]] = None
+    ) -> Dict[Tuple[str, int], int]:
+        """Move instances between workers via checkpoint blobs.
+
+        ``moves`` maps ``(service, index)`` keys to target shards
+        (default: :meth:`plan_rebalance`).  Runs at a barrier; the
+        source worker checkpoints and evicts the instances
+        (all-or-nothing per shard), the targets adopt blob + tracker
+        state, and the parent rewires its key→shard map.  Views, the
+        scorer, slots, and histories are untouched — the move is
+        invisible to every observer, which is the determinism contract.
+
+        If any source declines (an instance that cannot be checkpointed
+        exactly — e.g. gc-enabled services), already-evicted instances
+        are re-adopted by their sources and
+        :class:`~repro.fleet.checkpoint.CheckpointUnsupported` is
+        raised: fleet state is unchanged.  Returns the applied moves.
+        """
+        if self.mode != "streaming":
+            raise RuntimeError("rebalance requires mode='streaming'")
+        if not self._started:
+            raise RuntimeError("fleet not started")
+        self.barrier()
+        if moves is None:
+            moves = self.plan_rebalance()
+        moves = dict(moves)
+        for key, target in moves.items():
+            if key not in self._key_shard:
+                raise KeyError(f"unknown instance {key!r}")
+            if not 0 <= target < self.num_shards:
+                raise ValueError(f"no shard {target}")
+        moves = {
+            key: target for key, target in moves.items()
+            if self._key_shard[key] != target
+        }
+        if not moves:
+            return {}
+        reg = obs.default_registry()
+        with obs.default_tracer().span(
+            "fleet.rebalance", moves=len(moves)
+        ) as span:
+            by_source: Dict[int, List[Tuple[str, int]]] = {}
+            for key in sorted(moves):
+                by_source.setdefault(self._key_shard[key], []).append(key)
+            evicted: Dict[int, List[Tuple]] = {}
+            declined: Optional[Tuple[int, str]] = None
+            for source in sorted(by_source):
+                payload = self._exchange([
+                    (source, ("evict", tuple(by_source[source])))
+                ])[0]
+                self._note_window(source, payload["window_seq"], advance=False)
+                if payload.get("ok"):
+                    evicted[source] = payload["entries"]
+                else:
+                    declined = (source, payload.get("reason", "unsupported"))
+                    break
+            if declined is not None:
+                # Roll back: hand every evicted instance straight back
+                # to its source shard — blob + tracker state round-trip
+                # exactly, so the fleet is as if rebalance never ran.
+                for source in sorted(evicted):
+                    self._adopt(source, evicted[source])
+                shard, reason = declined
+                span.attributes.update(declined_by=shard)
+                raise CheckpointUnsupported(
+                    f"rebalance aborted: shard {shard} declined eviction: "
+                    f"{reason}"
+                )
+            for source in sorted(evicted):
+                by_target: Dict[int, List[Tuple]] = {}
+                for entry in evicted[source]:
+                    key = (entry[0], entry[1])
+                    by_target.setdefault(moves[key], []).append(entry)
+                for target in sorted(by_target):
+                    self._adopt(target, by_target[target])
+            for key, target in moves.items():
+                svc, idx = key
+                self._key_shard[key] = target
+                service = self.services[svc]
+                service.shard_of[idx] = target
+                service.instances[idx].shard = target
+            self._shard_col_cache = None
+            self.rebalances += 1
+            self.instances_moved += len(moves)
+            self._last_rebalance_window = self._committed_window
+            span.attributes.update(sources=len(by_source))
+            if reg.enabled:
+                reg.counter(
+                    "repro_fleet_rebalance_total",
+                    "Shard rebalances performed",
+                ).inc()
+                reg.counter(
+                    "repro_fleet_rebalance_moves_total",
+                    "Instances moved between shards by rebalancing",
+                ).inc(len(moves))
+        return moves
+
+    def _adopt(self, shard: int, entries: List[Tuple]) -> None:
+        """Hand checkpointed instances (blobs + tracker state) to a worker."""
+        slots = {
+            (entry[0], entry[1]): self._slots[(entry[0], entry[1])]
+            for entry in entries
+        }
+        payload = self._exchange([(shard, ("adopt", entries, slots))])[0]
+        self._note_window(shard, payload, advance=False)
+
     # -- the Fleet-compatible surface ----------------------------------------
 
     def __iter__(self):
         return iter(self.services.values())
 
     def advance_window(self, window: float = WINDOW_SECONDS) -> None:
-        """Advance every instance one window, in parallel."""
+        """Advance every instance one window, in lockstep."""
         self._advance(window)
 
     def run_days(
@@ -1237,12 +2018,53 @@ class ShardedFleet:
         window: float = WINDOW_SECONDS,
         on_window: Optional[Callable[[float], None]] = None,
     ) -> None:
-        """Advance the whole fleet ``days`` of virtual time."""
+        """Advance the whole fleet ``days`` of virtual time, in lockstep."""
         windows = int(days * 86_400.0 / window)
         for _ in range(windows):
             self.advance_window(window)
             if on_window is not None:
                 on_window(next(iter(self.services.values())).now)
+
+    def run_days_async(
+        self,
+        days: float,
+        window: float = WINDOW_SECONDS,
+        max_lead: int = 2,
+        rebalance_lag: Optional[float] = None,
+    ) -> None:
+        """Advance ``days`` with shards free-running out of phase.
+
+        Every idle shard that is less than ``max_lead`` windows ahead of
+        the fleet watermark is immediately given its next window — no
+        shard ever waits for the slowest one until the lead bound bites.
+        Histories, views, and the scorer advance only at commits, so the
+        result is byte-identical to :meth:`run_days` over the same span.
+        ``rebalance_lag`` enables the lag-triggered rebalancer
+        (:meth:`maybe_rebalance`) between pump rounds.
+        """
+        if self.mode != "streaming":
+            raise RuntimeError("async windows require mode='streaming'")
+        if not self._started:
+            raise RuntimeError("fleet not started")
+        windows = int(days * 86_400.0 / window)
+        self.barrier()
+        goal = self._shard_window[0] + windows
+        max_lead = max(1, int(max_lead))
+        while self._committed_window < goal:
+            sent = False
+            for shard in range(self.num_shards):
+                if self._inflight[shard] is not None:
+                    continue
+                nxt = self._shard_window[shard] + 1
+                if nxt > goal or nxt - self._committed_window > max_lead:
+                    continue
+                self.begin_advance(shard, window)
+                sent = True
+            self.poll(timeout=0.0 if sent else 0.05)
+            self._run_maintenance()
+            if rebalance_lag is not None:
+                self.maybe_rebalance(rebalance_lag)
+        self._run_maintenance()
 
     def snapshots(
         self, service: Optional[str] = None
@@ -1251,7 +2073,8 @@ class ShardedFleet:
         order ``Fleet.all_instances()`` yields — so a LeakProf daily run
         over a sharded fleet sees byte-identical input.  Streaming mode
         materializes them from the parent-side views — zero wire
-        traffic; batch mode ships full pickled snapshots back."""
+        traffic, answered at the fleet watermark; batch mode ships full
+        pickled snapshots back."""
         if self.mode == "streaming":
             return [
                 self._views[(name, index)].snapshot()

@@ -19,6 +19,14 @@ into signatures by first appearance, so signatures emerge ordered by
 their minimum member gid, and the representative is the minimum-gid
 member (minimum-gid *proven* member when a proof exists).  The scorer
 maintains gid sets per signature and reproduces exactly that.
+
+Under async fleet windows the scorer's inputs are watermark-ordered:
+the parent feeds it only *committed* windows (every shard reported the
+window), in order, in shard-index order within a window — so
+``suspects()`` always answers at the fleet watermark ``W`` and is
+byte-identical to a lockstep run advanced exactly ``W`` windows, no
+matter how far ahead individual shards are running.  The watermark
+rules are specified in ``docs/STREAMING_PROTOCOL.md`` §6.
 """
 
 from __future__ import annotations

@@ -27,6 +27,15 @@ parent-side function of (ship time − blocked_since), exactly the formula
 ``snapshot_goroutine`` uses.  Delta application is idempotent (upserts
 and deletes), which is what lets journal-replay crash recovery re-apply
 an in-flight window without double counting.
+
+Watermarks: every delta batch a worker ships is tagged with the shard's
+window sequence number, and :meth:`InstanceView.apply` keeps the highest
+window it has folded in.  A delta older than the view's watermark is
+*dropped* (``apply`` returns ``False``) — the defense that makes
+out-of-phase ingestion safe: a late or replayed delta arriving after a
+tombstone (or after any newer state) cannot resurrect dead records.
+Equal-window re-application stays idempotent, which is what crash replay
+relies on.
 """
 
 from __future__ import annotations
@@ -37,6 +46,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.profiling import GoroutineRecord, snapshot_goroutine
 
 from .model import GCSnapshot, InstanceSnapshot, RuntimeSnapshot
+
+#: Lazily bound ``repro.fleet.shm`` helpers (import cycle guard: shm
+#: imports this module for :class:`InstanceStats`).
+_stats_from_raw = None
+_row_window = None
 
 #: One record on the wire: (template with wait_seconds=0, blocked_since).
 WireRecord = Tuple[GoroutineRecord, Optional[float]]
@@ -190,11 +204,15 @@ class InstanceView:
     Holds the record templates the deltas built up plus the latest
     counter block; :meth:`snapshot` reconstructs the full
     ``InstanceSnapshot`` without touching the worker.  Application is
-    idempotent, so a crash-replayed window lands harmlessly.
+    idempotent, so a crash-replayed window lands harmlessly; application
+    of a delta *older* than the view's window watermark is refused
+    (:meth:`apply` returns ``False``), so a late delta arriving after a
+    tombstone cannot resurrect dead records.
     """
 
     __slots__ = ("service", "index", "name", "base_rss", "records",
-                 "gc", "_stats", "_lazy_stats")
+                 "gc", "window", "_stats", "_row", "_cache", "_slot",
+                 "_epoch")
 
     def __init__(self, service: str, index: int, name: str, base_rss: int):
         self.service = service
@@ -204,40 +222,83 @@ class InstanceView:
         #: gid -> (template with wait_seconds=0, blocked_since)
         self.records: Dict[int, WireRecord] = {}
         self.gc: Optional[GCSnapshot] = None
+        #: Highest shard window folded into this view (the watermark).
+        self.window: int = -1
         self._stats: Optional[InstanceStats] = None
-        self._lazy_stats: Optional[Any] = None
+        #: Raw stat-plane row bytes backing ``stats`` (lazy unpack).
+        self._row: Optional[bytes] = None
+        #: Bound ``repro.fleet.shm.RowCache`` the view reads counters
+        #: through, plus its slot there and the last epoch pulled.
+        self._cache = None
+        self._slot = -1
+        self._epoch = -1
+
+    def bind_cache(self, cache, slot: int) -> None:
+        """Attach the view to the fleet's published row cache.
+
+        The fleet's vectorized sweep publishes one validated buffer per
+        window instead of pushing ~20-field tuples into every view; the
+        view pulls its own row out lazily, only when a snapshot or
+        suspect query actually asks for :attr:`stats`.
+        """
+        self._cache = cache
+        self._slot = slot
+
+    def _refresh(self) -> None:
+        cache = self._cache
+        if cache is None or cache.epoch == self._epoch:
+            return
+        self._epoch = cache.epoch
+        raw = cache.view_raw(self._slot)
+        if raw is None or raw == self._row:
+            return
+        self._stats = None
+        self._row = raw
+        global _row_window
+        if _row_window is None:
+            from repro.fleet.shm import row_window
+
+            _row_window = row_window
+        window = _row_window(raw)
+        if window > self.window:
+            self.window = window
 
     @property
     def stats(self) -> Optional[InstanceStats]:
-        if self._stats is None and self._lazy_stats is not None:
-            self._stats = self._lazy_stats()
-            self._lazy_stats = None
+        self._refresh()
+        if self._stats is None and self._row is not None:
+            global _stats_from_raw
+            if _stats_from_raw is None:
+                from repro.fleet.shm import stats_from_raw
+
+                _stats_from_raw = stats_from_raw
+            self._stats = _stats_from_raw(self._row)
         return self._stats
 
     @stats.setter
     def stats(self, value: Optional[InstanceStats]) -> None:
         self._stats = value
-        self._lazy_stats = None
-
-    def defer_stats(self, thunk) -> None:
-        """Accept the counter block as a thunk, materialized on demand.
-
-        The fleet's shared-memory sweep touches every instance every
-        window, but only instances that actually surface in a snapshot
-        or suspect query ever need the full :class:`InstanceStats`
-        object — the rest pay one closure instead of a dataclass and a
-        census tuple.  The thunk must close over *copied* row data, not
-        the live shm buffer, so late materialization cannot race the
-        worker's next write.
-        """
-        self._stats = None
-        self._lazy_stats = thunk
+        self._row = None
 
     def apply(
-        self, delta: WireDelta, stats: Optional[InstanceStats] = None
-    ) -> None:
-        """Fold one wire delta in (``stats`` overrides the shm read)."""
+        self,
+        delta: WireDelta,
+        stats: Optional[InstanceStats] = None,
+        window: Optional[int] = None,
+    ) -> bool:
+        """Fold one wire delta in (``stats`` overrides the shm read).
+
+        ``window`` is the shard watermark the delta was shipped at; a
+        delta older than the view's own watermark is dropped and
+        ``False`` returned (the caller must then skip scorer feeding
+        too).  ``window=None`` (untagged legacy ingest) always applies.
+        """
         _svc, _idx, full, records, tombstones, gc, wire_stats = delta
+        if window is not None:
+            if window < self.window and not full:
+                return False
+            if window > self.window:
+                self.window = window
         if stats is None:
             stats = wire_stats
         if stats is not None:
@@ -251,6 +312,7 @@ class InstanceView:
             self.records[template.gid] = (template, blocked_since)
         for gid in tombstones:
             self.records.pop(gid, None)
+        return True
 
     def record_at(self, gid: int) -> GoroutineRecord:
         """One record materialized at the view's current instant."""
